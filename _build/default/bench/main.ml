@@ -1,0 +1,452 @@
+(* Benchmark harness: regenerates every table/figure of the paper's
+   evaluation (§V) on the simulated H100.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- fig8    -- one figure
+     (figures: fig8 fig9 fig10 fig11 fig12 extra micro)
+
+   Absolute TFLOPS come from the calibrated cost model; the claims
+   checked in EXPERIMENTS.md are the paper's *shapes*: orderings,
+   speedup factors, crossovers, feasibility holes. *)
+
+open Tawa_tensor
+open Tawa_frontend
+open Tawa_core
+open Tawa_baselines
+open Tawa_gpusim
+
+let cfg = Config.h100
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 8: GEMM, M = N = 8192, K sweep, FP16 and FP8                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig8_precision dtype =
+  let fws = Frameworks.all_gemm in
+  let rows = ref [] in
+  let ratios = Hashtbl.create 8 in
+  List.iter
+    (fun k ->
+      let shape = Workloads.paper_gemm ~dtype k in
+      let results =
+        List.map
+          (fun fw ->
+            match Frameworks.gemm ~cfg fw shape with
+            | Some t -> (fw, t.Launch.tflops)
+            | None -> (fw, 0.0))
+          fws
+      in
+      let tawa = List.assoc Frameworks.Tawa results in
+      List.iter
+        (fun (fw, v) ->
+          if fw <> Frameworks.Tawa && v > 0.0 then begin
+            let prev = Option.value (Hashtbl.find_opt ratios fw) ~default:[] in
+            Hashtbl.replace ratios fw ((tawa /. v) :: prev)
+          end)
+        results;
+      rows :=
+        (string_of_int k :: List.map (fun (_, v) -> Report.f1 v) results) :: !rows)
+    Workloads.paper_gemm_ks;
+  print_string
+    (Report.render
+       ~header:("K" :: List.map Frameworks.name fws)
+       (List.rev !rows));
+  Printf.printf "Average Tawa speedup: %s\n"
+    (String.concat ", "
+       (List.filter_map
+          (fun fw ->
+            Option.map
+              (fun rs -> Printf.sprintf "%s %.2fx" (Frameworks.name fw) (Report.geomean rs))
+              (Hashtbl.find_opt ratios fw))
+          fws))
+
+let fig8 () =
+  section "Fig. 8a: FP16 GEMM (TFLOPS), M=N=8192";
+  fig8_precision Dtype.F16;
+  section "Fig. 8b: FP8 GEMM (TFLOPS), M=N=8192";
+  fig8_precision Dtype.F8E4M3
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9: batched and grouped GEMM, Tawa vs Triton                    *)
+(* ------------------------------------------------------------------ *)
+
+let tiles = Frameworks.tiles_128x128
+
+let batched_timing ~ws ~batch (shape : Workloads.gemm_shape) =
+  let kernel = Kernels.batched_gemm ~tiles ~dtype:shape.Workloads.dtype () in
+  let compiled =
+    if ws then
+      Flow.compile
+        ~options:
+          { Flow.aref_depth = 3; mma_depth = 2; num_consumer_wgs = 1; persistent = true;
+            use_coarse = false }
+        kernel
+    else Flow.compile_sw_pipelined ~stages:3 kernel
+  in
+  let grid, params = Workloads.batched_gemm_launch ~batch shape ~tiles in
+  Launch.estimate ~cfg compiled.Flow.program ~params ~grid
+    ~flops:(Workloads.batched_gemm_flops ~batch shape)
+
+(* Tawa's grouped GEMM keeps CTAs resident and pops heterogeneous tiles
+   from one queue, overlapping one GEMM's loads with another's compute;
+   the Triton baseline launches each group as its own kernel. *)
+let grouped_timing ~ws (group : Workloads.group) =
+  if ws then begin
+    let items =
+      List.map
+        (fun (s : Workloads.gemm_shape) ->
+          let kernel = Kernels.gemm ~tiles ~dtype:s.Workloads.dtype () in
+          let compiled =
+            Flow.compile
+              ~options:
+                { Flow.aref_depth = 3; mma_depth = 2; num_consumer_wgs = 1;
+                  persistent = false; use_coarse = false }
+              kernel
+          in
+          let grid, params = Workloads.gemm_launch s ~tiles in
+          (compiled.Flow.program, params, grid, Workloads.gemm_flops s))
+        group
+    in
+    Launch.estimate_grouped ~cfg items
+  end
+  else begin
+    (* One kernel launch per group. *)
+    let cycles, flops =
+      List.fold_left
+        (fun (cycles, flops) (s : Workloads.gemm_shape) ->
+          let kernel = Kernels.gemm ~tiles ~dtype:s.Workloads.dtype () in
+          let compiled = Flow.compile_sw_pipelined ~stages:3 kernel in
+          let grid, params = Workloads.gemm_launch s ~tiles in
+          let t =
+            Launch.estimate ~cfg compiled.Flow.program ~params ~grid
+              ~flops:(Workloads.gemm_flops s)
+          in
+          (cycles +. t.Launch.cycles, flops +. Workloads.gemm_flops s))
+        (0.0, 0.0) group
+    in
+    {
+      Launch.cycles;
+      seconds = Config.cycles_to_seconds cfg cycles;
+      tflops = Config.tflops cfg ~flops ~cycles;
+      tc_utilization = 0.0;
+      stats =
+        { Tawa_gpusim.Sim.tc_busy = 0.0; tma_busy = 0.0; tma_bytes = 0.0;
+          wgmma_count = 0; tma_count = 0; steps = 0 };
+    }
+  end
+
+let fig9 () =
+  section "Fig. 9 (left): FP16 batched GEMM (batch = 8), Tawa vs Triton";
+  let shapes =
+    [ (1024, 1024, 1024); (2048, 2048, 1024); (2048, 2048, 4096); (4096, 4096, 2048);
+      (4096, 4096, 8192) ]
+  in
+  let rows =
+    List.map
+      (fun (m, n, k) ->
+        let s = { Workloads.m; n; k; dtype = Dtype.F16 } in
+        let tawa = (batched_timing ~ws:true ~batch:8 s).Launch.tflops in
+        let triton = (batched_timing ~ws:false ~batch:8 s).Launch.tflops in
+        [ Printf.sprintf "%dx%dx%d" m n k; Report.f1 triton; Report.f1 tawa;
+          Report.speedup ~over:triton tawa ])
+      shapes
+  in
+  print_string (Report.render ~header:[ "MxNxK"; "Triton"; "Tawa"; "speedup" ] rows);
+  section "Fig. 9 (right): FP16 grouped GEMM, Tawa vs Triton";
+  let rows =
+    List.map
+      (fun (label, group) ->
+        let tawa = (grouped_timing ~ws:true group).Launch.tflops in
+        let triton = (grouped_timing ~ws:false group).Launch.tflops in
+        [ label; Report.f1 triton; Report.f1 tawa; Report.speedup ~over:triton tawa ])
+      Workloads.paper_groups
+  in
+  print_string (Report.render ~header:[ "group"; "Triton"; "Tawa"; "speedup" ] rows)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 10: multi-head attention                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig10_case ~dtype ~causal =
+  let fws = Frameworks.all_mha in
+  let rows =
+    List.map
+      (fun len ->
+        let shape = Workloads.paper_mha ~dtype ~causal len in
+        string_of_int len
+        :: List.map
+             (fun fw ->
+               match Frameworks.mha ~cfg fw shape with
+               | Some t -> Report.f1 t.Launch.tflops
+               | None -> "fail")
+             fws)
+      Workloads.paper_mha_lens
+  in
+  print_string (Report.render ~header:("L" :: List.map Frameworks.name fws) rows);
+  (* Tawa-vs-FA3 and Tawa-vs-Triton summary at the longest sequence. *)
+  let shape = Workloads.paper_mha ~dtype ~causal 16384 in
+  let get fw = Option.map (fun t -> t.Launch.tflops) (Frameworks.mha ~cfg fw shape) in
+  (match (get Frameworks.Tawa, get Frameworks.Fa3, get Frameworks.Triton) with
+  | Some tw, Some fa, Some tr ->
+    Printf.printf "L=16384: Tawa/FA3 = %.0f%%, Tawa/Triton = %.2fx\n" (100.0 *. tw /. fa)
+      (tw /. tr)
+  | _ -> ())
+
+let fig10 () =
+  section "Fig. 10a: FP16 MHA non-causal (TFLOPS), B=4, d=128";
+  fig10_case ~dtype:Dtype.F16 ~causal:false;
+  section "Fig. 10b: FP16 MHA causal";
+  fig10_case ~dtype:Dtype.F16 ~causal:true;
+  section "Fig. 10c: FP8 MHA non-causal";
+  fig10_case ~dtype:Dtype.F8E4M3 ~causal:false;
+  section "Fig. 10d: FP8 MHA causal";
+  fig10_case ~dtype:Dtype.F8E4M3 ~causal:true
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 11: aref depth D x MMA depth P, persistent vs not              *)
+(* ------------------------------------------------------------------ *)
+
+let fig11_panel ~persistent =
+  let shape = Workloads.paper_gemm 16384 in
+  let grid =
+    Autotune.dp_grid ~cfg ~tiles:Frameworks.tiles_128x128 ~coop:1 ~persistent shape
+      ~max_d:4 ~max_p:3
+  in
+  let rows =
+    List.mapi
+      (fun di row ->
+        Printf.sprintf "D=%d" (di + 1)
+        :: List.map
+             (function
+               | None -> "infeasible"
+               | Some (m : Autotune.measurement) -> Report.f1 m.Autotune.tflops)
+             row)
+      grid
+  in
+  print_string (Report.render ~header:[ ""; "P=1"; "P=2"; "P=3" ] rows)
+
+let fig11 () =
+  section "Fig. 11 (left): non-persistent GEMM K=16384, TFLOPS over (D, P)";
+  fig11_panel ~persistent:false;
+  section "Fig. 11 (right): persistent GEMM K=16384, TFLOPS over (D, P)";
+  fig11_panel ~persistent:true
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 12: ablation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig12_gemm () =
+  section "Fig. 12 (left): GEMM ablation, FP16, K=16384";
+  let shape = Workloads.paper_gemm 16384 in
+  let time compiled ~tiles =
+    let grid, params = Workloads.gemm_launch shape ~tiles in
+    (Launch.estimate ~cfg compiled.Flow.program ~params ~grid
+       ~flops:(Workloads.gemm_flops shape))
+      .Launch.tflops
+  in
+  let small = Frameworks.tiles_128x128 and large = Frameworks.tiles_128x256 in
+  let baseline = time (Flow.compile_naive (Kernels.gemm ~tiles:small ())) ~tiles:small in
+  let ws =
+    time
+      (Flow.compile
+         ~options:{ Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1;
+                    persistent = false; use_coarse = false }
+         (Kernels.gemm ~tiles:small ()))
+      ~tiles:small
+  in
+  let large_tile =
+    time
+      (Flow.compile
+         ~options:{ Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 2;
+                    persistent = false; use_coarse = false }
+         (Kernels.gemm ~tiles:large ()))
+      ~tiles:large
+  in
+  let persistent =
+    time
+      (Flow.compile
+         ~options:{ Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 2;
+                    persistent = true; use_coarse = false }
+         (Kernels.gemm ~tiles:large ()))
+      ~tiles:large
+  in
+  let best =
+    let m = Autotune.tune_gemm ~cfg shape in
+    m.Autotune.tflops
+  in
+  let rows =
+    [ [ "Triton w/o WS (naive)"; Report.f1 baseline; "1.00x" ];
+      [ "+Auto WS"; Report.f1 ws; Report.speedup ~over:baseline ws ];
+      [ "+Cooperative WGs, +Large Tile"; Report.f1 large_tile;
+        Report.speedup ~over:baseline large_tile ];
+      [ "+Persistent Kernel"; Report.f1 persistent; Report.speedup ~over:baseline persistent ];
+      [ "+Better Aref Size (autotuned)"; Report.f1 best; Report.speedup ~over:baseline best ] ]
+  in
+  print_string (Report.render ~header:[ "configuration"; "TFLOPS"; "vs baseline" ] rows)
+
+let fig12_mha () =
+  section "Fig. 12 (right): MHA ablation, FP16, L=16384";
+  let shape = Workloads.paper_mha 16384 in
+  let time compiled =
+    let grid, params = Workloads.mha_launch shape ~block_m:Frameworks.mha_block_m in
+    (Launch.estimate ~cfg compiled.Flow.program ~params ~grid
+       ~flops:(Workloads.mha_flops shape))
+      .Launch.tflops
+  in
+  let kernel d = Kernels.attention ~block_m:128 ~block_n:128 ~head_dim:128 ~dtype:d () in
+  (* The ablation baseline is Triton without any pipelining: loads are
+     synchronous TMA waits inside the loop. *)
+  let baseline = time (Flow.compile_sync_tma (kernel Dtype.F16)) in
+  let ws =
+    time
+      (Flow.compile
+         ~options:{ Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1;
+                    persistent = false; use_coarse = false }
+         (kernel Dtype.F16))
+  in
+  let coarse =
+    time
+      (Flow.compile
+         ~options:{ Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1;
+                    persistent = false; use_coarse = true }
+         (kernel Dtype.F16))
+  in
+  let best =
+    List.fold_left
+      (fun acc d ->
+        let t =
+          time
+            (Flow.compile
+               ~options:{ Flow.aref_depth = d; mma_depth = 1; num_consumer_wgs = 1;
+                          persistent = false; use_coarse = true }
+               (kernel Dtype.F16))
+        in
+        Float.max acc t)
+      0.0 [ 2; 3; 4 ]
+  in
+  let rows =
+    [ [ "Triton w/o pipelining (sync TMA)"; Report.f1 baseline; "1.00x" ];
+      [ "+Auto WS"; Report.f1 ws; Report.speedup ~over:baseline ws ];
+      [ "+Coarse-grained pipeline"; Report.f1 coarse; Report.speedup ~over:baseline coarse ];
+      [ "+Better Aref Size"; Report.f1 best; Report.speedup ~over:baseline best ] ]
+  in
+  print_string (Report.render ~header:[ "configuration"; "TFLOPS"; "vs baseline" ] rows)
+
+let fig12 () =
+  fig12_gemm ();
+  fig12_mha ()
+
+(* ------------------------------------------------------------------ *)
+(* Extra: future-work features (§VI) exercised as ablations            *)
+(* ------------------------------------------------------------------ *)
+
+let extra () =
+  section "Extra: ping-pong aref protocol (paper SVI, future work)";
+  (* Two warp groups alternate producer/consumer roles every iteration
+     over two rings; model-check under an adversarial schedule. *)
+  let rings = [| Tawa_aref.Ring.create ~depth:2; Tawa_aref.Ring.create ~depth:2 |] in
+  let agents = Tawa_aref.Schedule.pingpong_program ~n:64 in
+  let state = ref 12345 in
+  let choose r =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    r.(!state mod Array.length r)
+  in
+  (match Tawa_aref.Schedule.run ~rings ~choose agents with
+  | Tawa_aref.Schedule.Completed results ->
+    List.iter
+      (fun (name, got) ->
+        Printf.printf "  %s: consumed %d tiles (role alternating per iteration)\n" name
+          (List.length got))
+      results
+  | Tawa_aref.Schedule.Deadlock _ -> print_endline "  DEADLOCK (unexpected)"
+  | Tawa_aref.Schedule.Error e -> Printf.printf "  error: %s\n" e);
+  section "Extra: multicast aref (one producer, two consumer rings)";
+  (* Modelled at the protocol level (see Tawa_aref.Ring.Multicast tests);
+     here we report the SMEM saving of sharing one ring between two
+     consumers versus duplicating it. *)
+  let tile_bytes = 128 * 64 * 2 in
+  List.iter
+    (fun d ->
+      Printf.printf "D=%d: dedicated rings %d KiB, multicast ring %d KiB (saves %d KiB)\n"
+        d
+        (2 * d * tile_bytes / 1024)
+        (d * tile_bytes / 1024)
+        (d * tile_bytes / 1024))
+    [ 2; 3; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Micro: compile-time cost of each Tawa pass (bechamel)               *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  section "Micro: compiler pass wall-times (bechamel)";
+  let open Bechamel in
+  let gemm () = Kernels.gemm ~tiles:Frameworks.tiles_128x128 () in
+  let attn () = Kernels.attention ~block_m:128 ~block_n:128 ~head_dim:128 () in
+  let ws k =
+    Tawa_passes.Partition.warp_specialize
+      ~config:{ Tawa_passes.Partition.aref_depth = 2; num_consumer_wgs = 1 }
+      k
+  in
+  let tests =
+    [
+      Test.make ~name:"frontend:build-gemm" (Staged.stage (fun () -> ignore (gemm ())));
+      Test.make ~name:"pass:warp-specialize"
+        (let k = gemm () in
+         Staged.stage (fun () -> ignore (ws k)));
+      Test.make ~name:"pass:fine-pipeline"
+        (let k = ws (gemm ()) in
+         Staged.stage (fun () -> ignore (Tawa_passes.Pipeline_fine.apply ~mma_depth:2 k)));
+      Test.make ~name:"pass:coarse-pipeline"
+        (let k = ws (attn ()) in
+         Staged.stage (fun () -> ignore (Tawa_passes.Pipeline_coarse.apply k)));
+      Test.make ~name:"codegen:lower"
+        (let k = Tawa_passes.Pipeline_fine.apply ~mma_depth:2 (ws (gemm ())) in
+         Staged.stage (fun () -> ignore (Tawa_machine.Codegen.lower k)));
+      Test.make ~name:"e2e:compile-gemm"
+        (Staged.stage (fun () -> ignore (Flow.compile (gemm ()))));
+    ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg_b = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg_b instances (Test.make_grouped ~name:"tawa" tests) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name res ->
+      match Analyze.OLS.estimates res with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | _ -> rows := (name, Float.nan) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "  %-36s %12.1f ns/run\n" name (est))
+    (List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let t0 = Unix.gettimeofday () in
+  (match which with
+  | "fig8" -> fig8 ()
+  | "fig9" -> fig9 ()
+  | "fig10" -> fig10 ()
+  | "fig11" -> fig11 ()
+  | "fig12" -> fig12 ()
+  | "extra" -> extra ()
+  | "micro" -> micro ()
+  | "all" | _ ->
+    fig8 ();
+    fig9 ();
+    fig10 ();
+    fig11 ();
+    fig12 ();
+    extra ();
+    micro ());
+  Printf.printf "\n[bench completed in %.1fs]\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,244 @@
+(* tawac — the Tawa compiler driver.
+
+   Compiles `.tw` tile kernels (the textual DSL) through the Tawa
+   warp-specialization pipeline, optionally dumping the transformed IR
+   and the PTX-like machine code, and can execute kernels with
+   recognizable signatures on the simulated H100 to check them against
+   golden references and report timing. *)
+
+open Cmdliner
+open Tawa_tensor
+open Tawa_ir
+open Tawa_frontend
+open Tawa_core
+open Tawa_gpusim
+
+let read_kernels path kernel_name =
+  let kernels = Elaborate.compile_file path in
+  match kernel_name with
+  | None -> kernels
+  | Some n -> List.filter (fun (k : Kernel.t) -> k.Kernel.name = n) kernels
+
+let options_of ~d ~p ~coop ~persistent ~coarse =
+  { Flow.aref_depth = d; mma_depth = p; num_consumer_wgs = coop; persistent;
+    use_coarse = coarse }
+
+type mode = Tawa_ws | Sw_pipeline of int | Naive
+
+let compile_one ~mode ~options (k : Kernel.t) =
+  match mode with
+  | Tawa_ws -> Flow.compile ~options k
+  | Sw_pipeline stages -> Flow.compile_sw_pipelined ~stages k
+  | Naive -> Flow.compile_naive k
+
+(* ---------------------------- compile ----------------------------- *)
+
+let do_compile path kernel_name d p coop persistent coarse sw naive dump_ir dump_asm =
+  try
+    let mode =
+      if naive then Naive else match sw with Some s -> Sw_pipeline s | None -> Tawa_ws
+    in
+    let options = options_of ~d ~p ~coop ~persistent ~coarse in
+    let kernels = read_kernels path kernel_name in
+    if kernels = [] then begin
+      Printf.eprintf "tawac: no kernels found\n";
+      exit 1
+    end;
+    List.iter
+      (fun k ->
+        let c = compile_one ~mode ~options k in
+        Printf.printf "kernel @%s: %s%s, %d IR ops, %d instructions, %d B SMEM, %d mbarriers\n"
+          k.Kernel.name
+          (if c.Flow.warp_specialized then "warp-specialized" else "not specialized")
+          (if c.Flow.coarse then " + coarse pipeline" else "")
+          (Kernel.count_ops c.Flow.transformed)
+          (Tawa_machine.Isa.instr_count c.Flow.program)
+          (Tawa_machine.Isa.smem_bytes c.Flow.program)
+          c.Flow.program.Tawa_machine.Isa.num_mbarriers;
+        if dump_ir then print_string (Flow.dump_ir c);
+        if dump_asm then print_string (Flow.dump_asm c))
+      kernels;
+    0
+  with
+  | Elaborate.Elab_error (msg, pos) | Parser.Parse_error (msg, pos) ->
+    Printf.eprintf "%s:%d:%d: error: %s\n" path pos.Ast.line pos.Ast.col msg;
+    1
+  | Lexer.Lex_error (msg, pos) ->
+    Printf.eprintf "%s:%d:%d: lexical error: %s\n" path pos.Ast.line pos.Ast.col msg;
+    1
+  | Verifier.Ill_formed msg ->
+    Printf.eprintf "tawac: IR verification failed: %s\n" msg;
+    1
+
+(* ------------------------------ run ------------------------------- *)
+
+(* Recognize kernel signatures we can drive automatically. *)
+let classify_signature (k : Kernel.t) =
+  let tys = List.map Value.ty k.Kernel.params in
+  let is_ptr = function Types.TPtr _ -> true | _ -> false in
+  let is_i32 = function Types.TScalar Dtype.I32 -> true | _ -> false in
+  match tys with
+  | [ a; b; c; m; n; kk ]
+    when is_ptr a && is_ptr b && is_ptr c && is_i32 m && is_i32 n && is_i32 kk ->
+    `Gemm
+  | [ q; kk; v; o; l ] when List.for_all is_ptr [ q; kk; v; o ] && is_i32 l -> `Attention
+  | _ -> `Unknown
+
+let do_run path kernel_name d p coop persistent coarse sw naive m n kk l =
+  try
+    let mode =
+      if naive then Naive else match sw with Some s -> Sw_pipeline s | None -> Tawa_ws
+    in
+    let options = options_of ~d ~p ~coop ~persistent ~coarse in
+    let kernels = read_kernels path kernel_name in
+    let cfg = Config.functional_test in
+    List.iter
+      (fun k ->
+        let c = compile_one ~mode ~options k in
+        match classify_signature k with
+        | `Gemm ->
+          (* Infer the tile from the accumulator loads is overkill: run
+             at user-provided sizes with a 16-divisible grid guess from
+             the store tile shape. *)
+          let tile_m, tile_n =
+            match
+              Op.fold_region
+                (fun acc op ->
+                  match op.Op.opcode with
+                  | Op.Tma_store -> (
+                    match Value.ty (List.nth op.Op.operands (List.length op.Op.operands - 1)) with
+                    | Types.TTensor { shape = [ tm; tn ]; _ } -> Some (tm, tn)
+                    | _ -> acc)
+                  | _ -> acc)
+                None k.Kernel.body
+            with
+            | Some x -> x
+            | None -> (16, 16)
+          in
+          let a = Tensor.random ~dtype:Dtype.F16 ~seed:1 [| m; kk |] in
+          let b = Tensor.random ~dtype:Dtype.F16 ~seed:2 [| kk; n |] in
+          let cbuf = Tensor.create ~dtype:Dtype.F16 [| m; n |] in
+          ignore
+            (Launch.run_grid_functional ~cfg c.Flow.program
+               ~params:
+                 [ Sim.Rtensor a; Sim.Rtensor b; Sim.Rtensor cbuf; Sim.Rint m;
+                   Sim.Rint n; Sim.Rint kk ]
+               ~grid:(m / tile_m, n / tile_n, 1));
+          let want = Reference.gemm ~out_dtype:Dtype.F16 a b in
+          let diff = Tensor.max_rel_diff cbuf want in
+          Printf.printf "kernel @%s (gemm %dx%dx%d): max rel diff vs reference = %.2e %s\n"
+            k.Kernel.name m n kk diff
+            (if diff < 1e-3 then "[OK]" else "[MISMATCH]");
+          (* Timing estimate at the same shape. *)
+          let t =
+            Launch.estimate ~cfg:Config.h100 c.Flow.program
+              ~params:[ Sim.Rnone; Sim.Rnone; Sim.Rnone; Sim.Rint m; Sim.Rint n; Sim.Rint kk ]
+              ~grid:(m / tile_m, n / tile_n, 1)
+              ~flops:(Reference.gemm_flops ~m ~n ~k:kk)
+          in
+          Printf.printf "  simulated: %.2f GFLOPS, %.0f cycles, TC utilization %.0f%%\n"
+            (t.Launch.tflops *. 1e3) t.Launch.cycles (100.0 *. t.Launch.tc_utilization)
+        | `Attention ->
+          let d_head =
+            match
+              Op.fold_region
+                (fun acc op ->
+                  match op.Op.opcode with
+                  | Op.Tma_store -> (
+                    match Value.ty (List.nth op.Op.operands (List.length op.Op.operands - 1)) with
+                    | Types.TTensor { shape = [ _; dh ]; _ } -> Some dh
+                    | _ -> acc)
+                  | _ -> acc)
+                None k.Kernel.body
+            with
+            | Some x -> x
+            | None -> 8
+          in
+          let tile_m =
+            match
+              Op.fold_region
+                (fun acc op ->
+                  match op.Op.opcode with
+                  | Op.Tma_store -> (
+                    match Value.ty (List.nth op.Op.operands (List.length op.Op.operands - 1)) with
+                    | Types.TTensor { shape = [ tm; _ ]; _ } -> Some tm
+                    | _ -> acc)
+                  | _ -> acc)
+                None k.Kernel.body
+            with
+            | Some x -> x
+            | None -> 16
+          in
+          let q = Tensor.random ~dtype:Dtype.F16 ~seed:1 [| l; d_head |] in
+          let kt = Tensor.random ~dtype:Dtype.F16 ~seed:2 [| l; d_head |] in
+          let v = Tensor.random ~dtype:Dtype.F16 ~seed:3 [| l; d_head |] in
+          let o = Tensor.create ~dtype:Dtype.F16 [| l; d_head |] in
+          ignore
+            (Launch.run_grid_functional ~cfg c.Flow.program
+               ~params:
+                 [ Sim.Rtensor q; Sim.Rtensor kt; Sim.Rtensor v; Sim.Rtensor o; Sim.Rint l ]
+               ~grid:(l / tile_m, 1, 1));
+          let want = Reference.attention ~out_dtype:Dtype.F16 ~q ~k:kt ~v () in
+          let diff = Tensor.max_rel_diff o want in
+          Printf.printf
+            "kernel @%s (attention L=%d d=%d): max rel diff vs reference = %.2e %s\n"
+            k.Kernel.name l d_head diff
+            (if diff < 2e-2 then "[OK]" else "[MISMATCH]")
+        | `Unknown ->
+          Printf.printf "kernel @%s: unrecognized signature; compile-only\n" k.Kernel.name)
+      kernels;
+    0
+  with
+  | Elaborate.Elab_error (msg, pos) | Parser.Parse_error (msg, pos) ->
+    Printf.eprintf "%s:%d:%d: error: %s\n" path pos.Ast.line pos.Ast.col msg;
+    1
+  | Sim.Sim_error msg ->
+    Printf.eprintf "tawac: simulation failed: %s\n" msg;
+    1
+
+(* --------------------------- cmdliner ------------------------------ *)
+
+let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.tw")
+
+let kernel_arg =
+  Arg.(value & opt (some string) None & info [ "kernel" ] ~docv:"NAME" ~doc:"Only this kernel.")
+
+let d_arg = Arg.(value & opt int 2 & info [ "D"; "aref-depth" ] ~doc:"aref ring depth D.")
+let p_arg = Arg.(value & opt int 2 & info [ "P"; "mma-depth" ] ~doc:"MMA pipeline depth P.")
+let coop_arg = Arg.(value & opt int 1 & info [ "coop" ] ~doc:"Cooperative consumer warp groups.")
+let persistent_arg = Arg.(value & flag & info [ "persistent" ] ~doc:"Persistent kernel.")
+let coarse_arg = Arg.(value & flag & info [ "coarse" ] ~doc:"Coarse-grained T/C/U pipeline.")
+
+let sw_arg =
+  Arg.(value & opt (some int) None
+       & info [ "sw-pipeline" ] ~docv:"STAGES"
+           ~doc:"Compile with Ampere-style software pipelining (the Triton baseline) instead of warp specialization.")
+
+let naive_arg =
+  Arg.(value & flag & info [ "naive" ] ~doc:"Compile with synchronous naive loads (no asynchrony).")
+
+let dump_ir_arg = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the transformed IR.")
+let dump_asm_arg = Arg.(value & flag & info [ "dump-asm" ] ~doc:"Print the PTX-like machine code.")
+
+let m_arg = Arg.(value & opt int 64 & info [ "m" ] ~doc:"GEMM M.")
+let n_arg = Arg.(value & opt int 64 & info [ "n" ] ~doc:"GEMM N.")
+let k_arg = Arg.(value & opt int 64 & info [ "k" ] ~doc:"GEMM K.")
+let l_arg = Arg.(value & opt int 64 & info [ "l" ] ~doc:"Attention sequence length.")
+
+let compile_cmd =
+  let doc = "compile tile kernels through the Tawa pipeline" in
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(
+      const do_compile $ file_arg $ kernel_arg $ d_arg $ p_arg $ coop_arg
+      $ persistent_arg $ coarse_arg $ sw_arg $ naive_arg $ dump_ir_arg $ dump_asm_arg)
+
+let run_cmd =
+  let doc = "compile and execute kernels on the simulated H100" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const do_run $ file_arg $ kernel_arg $ d_arg $ p_arg $ coop_arg $ persistent_arg
+      $ coarse_arg $ sw_arg $ naive_arg $ m_arg $ n_arg $ k_arg $ l_arg)
+
+let () =
+  let doc = "Tawa: automatic warp specialization for (simulated) modern GPUs" in
+  exit (Cmd.eval' (Cmd.group (Cmd.info "tawac" ~doc ~version:"1.0.0") [ compile_cmd; run_cmd ]))

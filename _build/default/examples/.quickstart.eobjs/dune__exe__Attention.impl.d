@@ -1,0 +1,1 @@
+examples/attention.ml: Config Dtype Flow Kernel Kernels Launch List Op Option Printf Reference Sim Tawa_baselines Tawa_core Tawa_frontend Tawa_gpusim Tawa_ir Tawa_tensor Tensor Workloads

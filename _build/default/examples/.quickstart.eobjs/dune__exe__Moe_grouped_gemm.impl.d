@@ -1,0 +1,1 @@
+examples/moe_grouped_gemm.ml: Config Dtype Float Flow Kernels Launch List Printf Reference Sim Tawa_core Tawa_frontend Tawa_gpusim Tawa_ir Tawa_tensor Tensor Workloads

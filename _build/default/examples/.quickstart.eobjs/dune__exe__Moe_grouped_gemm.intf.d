@@ -1,0 +1,1 @@
+examples/moe_grouped_gemm.mli:

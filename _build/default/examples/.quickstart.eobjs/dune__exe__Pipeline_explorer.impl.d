@@ -1,0 +1,1 @@
+examples/pipeline_explorer.ml: Autotune Bytes Config Float Flow Kernels Launch List Printf Sim String Tawa_core Tawa_frontend Tawa_gpusim Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Autotune Config Dtype Flow Kernel Kernels Launch Printer Printf Reference Sim Tawa_core Tawa_frontend Tawa_gpusim Tawa_ir Tawa_tensor Tensor Workloads

@@ -1,0 +1,97 @@
+(* Mixture-of-Experts style GEMM variants (the workloads behind the
+   paper's Fig. 9): batched GEMM for identical experts and grouped GEMM
+   for heterogeneous experts, scheduled by one persistent launch.
+
+     dune exec examples/moe_grouped_gemm.exe *)
+
+open Tawa_tensor
+open Tawa_ir
+open Tawa_frontend
+open Tawa_core
+open Tawa_gpusim
+
+let tiles = { Kernels.block_m = 16; block_n = 16; block_k = 8 }
+
+(* Functional batched GEMM on the simulator: batch of 3 experts, each
+   checked against the reference. *)
+let functional_batched () =
+  let m = 16 and n = 16 and k = 16 and batch = 3 in
+  let kernel = Kernels.batched_gemm ~tiles () in
+  let compiled =
+    Flow.compile
+      ~options:
+        { Flow.aref_depth = 2; mma_depth = 2; num_consumer_wgs = 1; persistent = false;
+          use_coarse = false }
+      kernel
+  in
+  let a = Tensor.random ~dtype:Dtype.F16 ~seed:5 [| batch * m; k |] in
+  let b = Tensor.random ~dtype:Dtype.F16 ~seed:6 [| batch * k; n |] in
+  let c = Tensor.create ~dtype:Dtype.F16 [| batch * m; n |] in
+  ignore
+    (Launch.run_grid_functional ~cfg:Config.functional_test compiled.Flow.program
+       ~params:
+         [ Sim.Rtensor a; Sim.Rtensor b; Sim.Rtensor c; Sim.Rint m; Sim.Rint n;
+           Sim.Rint k; Sim.Rint batch ]
+       ~grid:(1, 1, batch));
+  let worst = ref 0.0 in
+  for bi = 0 to batch - 1 do
+    let ab = Tensor.slice2 a ~r0:(bi * m) ~c0:0 ~rows:m ~cols:k in
+    let bb = Tensor.slice2 b ~r0:(bi * k) ~c0:0 ~rows:k ~cols:n in
+    let want = Reference.gemm ~out_dtype:Dtype.F16 ab bb in
+    let got = Tensor.slice2 ~dtype:Dtype.F16 c ~r0:(bi * m) ~c0:0 ~rows:m ~cols:n in
+    worst := Float.max !worst (Tensor.max_rel_diff got want)
+  done;
+  Printf.printf "Batched GEMM (batch=%d), warp-specialized: max rel diff %.2e\n" batch !worst
+
+(* Paper-scale timing: grouped experts under one persistent launch vs
+   one kernel per expert. *)
+let timing_grouped () =
+  let paper_tiles = { Kernels.block_m = 128; block_n = 128; block_k = 64 } in
+  Printf.printf "\nGrouped GEMM at paper scale (persistent queue vs per-expert launches):\n";
+  Printf.printf "  %-22s %10s %10s %8s\n" "experts" "Triton" "Tawa" "speedup";
+  List.iter
+    (fun (label, group) ->
+      (* Tawa: one persistent launch, heterogeneous queue. *)
+      let items =
+        List.map
+          (fun (s : Workloads.gemm_shape) ->
+            let kernel = Kernels.gemm ~tiles:paper_tiles ~dtype:s.Workloads.dtype () in
+            let compiled =
+              Flow.compile
+                ~options:
+                  { Flow.aref_depth = 3; mma_depth = 2; num_consumer_wgs = 1;
+                    persistent = false; use_coarse = false }
+                kernel
+            in
+            let grid, params = Workloads.gemm_launch s ~tiles:paper_tiles in
+            (compiled.Flow.program, params, grid, Workloads.gemm_flops s))
+          group
+      in
+      let tawa = Launch.estimate_grouped ~cfg:Config.h100 items in
+      (* Triton: separate software-pipelined launches. *)
+      let cycles, flops =
+        List.fold_left
+          (fun (cy, fl) (s : Workloads.gemm_shape) ->
+            let kernel = Kernels.gemm ~tiles:paper_tiles ~dtype:s.Workloads.dtype () in
+            let compiled = Flow.compile_sw_pipelined ~stages:3 kernel in
+            let grid, params = Workloads.gemm_launch s ~tiles:paper_tiles in
+            let t =
+              Launch.estimate ~cfg:Config.h100 compiled.Flow.program ~params ~grid
+                ~flops:(Workloads.gemm_flops s)
+            in
+            (cy +. t.Launch.cycles, fl +. Workloads.gemm_flops s))
+          (0.0, 0.0) group
+      in
+      let triton_tflops = Config.tflops Config.h100 ~flops ~cycles in
+      Printf.printf "  %-22s %10.1f %10.1f %7.2fx\n" label triton_tflops
+        tawa.Launch.tflops
+        (tawa.Launch.tflops /. triton_tflops))
+    Workloads.paper_groups
+
+let () =
+  print_endline "== MoE workloads: batched and grouped GEMM ==\n";
+  functional_batched ();
+  timing_grouped ();
+  print_endline
+    "\nThe persistent queue lets one expert's TMA traffic overlap another's\n\
+     tensor-core work (paper SV-C), on top of saving per-expert launches."

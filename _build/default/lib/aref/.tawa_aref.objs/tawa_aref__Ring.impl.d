@@ -1,0 +1,1 @@
+lib/aref/ring.ml: Array Fun Semantics

@@ -1,0 +1,1 @@
+lib/aref/schedule.ml: Array List Option Ring Semantics

@@ -1,0 +1,1 @@
+lib/aref/semantics.ml:

@@ -1,0 +1,97 @@
+(** D-deep aref rings (§III-B: "multiple aref instances can be grouped
+    into a cyclic buffer of depth D").
+
+    A ring is an array of D independent one-slot arefs. Producers write
+    iteration [k] into slot [k mod D]; consumers read and release the
+    same slot. The ring therefore behaves as a bounded FIFO of capacity
+    D as long as both sides index slots in iteration order — which is
+    exactly what the loop-distribution pass emits. *)
+
+type 'a t = { slots : 'a Semantics.t array }
+
+let create ~depth =
+  if depth <= 0 then invalid_arg "Ring.create: depth must be positive";
+  { slots = Array.init depth (fun _ -> Semantics.create ()) }
+
+let depth r = Array.length r.slots
+
+let slot_of_iter r k =
+  if k < 0 then invalid_arg "Ring.slot_of_iter: negative iteration";
+  k mod Array.length r.slots
+
+let put r ~iter v = Semantics.put r.slots.(slot_of_iter r iter) v
+let get r ~iter = Semantics.get r.slots.(slot_of_iter r iter)
+let consumed r ~iter = Semantics.consumed r.slots.(slot_of_iter r iter)
+
+let invariant_holds r = Array.for_all Semantics.invariant_holds r.slots
+
+(** Number of slots currently holding published-but-unread values. *)
+let occupancy r =
+  Array.fold_left
+    (fun n s -> n + match s.Semantics.state with Semantics.Full _ -> 1 | _ -> 0)
+    0 r.slots
+
+(** Multicast ring (paper §VI, future work): one producer, [consumers]
+    independent readers. A slot becomes reusable only after every
+    consumer has released it; each consumer may read the published value
+    exactly once per iteration. *)
+module Multicast = struct
+  type 'a mslot = {
+    mutable value : 'a option;
+    mutable reads_done : bool array;    (* per-consumer get performed *)
+    mutable releases_done : bool array; (* per-consumer consumed performed *)
+  }
+
+  type 'a t = { mslots : 'a mslot array; consumers : int }
+
+  let create ~depth ~consumers =
+    if depth <= 0 || consumers <= 0 then invalid_arg "Multicast.create";
+    {
+      mslots =
+        Array.init depth (fun _ ->
+            { value = None;
+              reads_done = Array.make consumers false;
+              releases_done = Array.make consumers false });
+      consumers;
+    }
+
+  let slot t k = t.mslots.(k mod Array.length t.mslots)
+
+  let put t ~iter v : unit Semantics.step =
+    let s = slot t iter in
+    match s.value with
+    | Some _ -> Semantics.Blocked
+    | None ->
+      if Array.exists Fun.id s.reads_done then Semantics.Blocked
+      else begin
+        s.value <- Some v;
+        Semantics.Ok ()
+      end
+
+  let get t ~consumer ~iter : 'a Semantics.step =
+    let s = slot t iter in
+    match s.value with
+    | None -> Semantics.Blocked
+    | Some v ->
+      if s.reads_done.(consumer) then
+        raise (Semantics.Protocol_error "multicast double get by one consumer")
+      else begin
+        s.reads_done.(consumer) <- true;
+        Semantics.Ok v
+      end
+
+  let consumed t ~consumer ~iter : unit Semantics.step =
+    let s = slot t iter in
+    if not s.reads_done.(consumer) then
+      raise (Semantics.Protocol_error "multicast consumed before get");
+    if s.releases_done.(consumer) then
+      raise (Semantics.Protocol_error "multicast double consumed");
+    s.releases_done.(consumer) <- true;
+    if Array.for_all Fun.id s.releases_done then begin
+      (* Every consumer released: the slot cycles back to empty. *)
+      s.value <- None;
+      Array.fill s.reads_done 0 (Array.length s.reads_done) false;
+      Array.fill s.releases_done 0 (Array.length s.releases_done) false
+    end;
+    Semantics.Ok ()
+end

@@ -1,0 +1,140 @@
+(** A tiny concurrency harness for model-checking aref protocols.
+
+    Agents are sequences of channel operations on a shared set of rings.
+    The scheduler executes agents step by step under an arbitrary
+    interleaving (provided as a choice function) and reports completion,
+    deadlock (all unfinished agents blocked), or protocol error. Tests
+    use this to show the paper's happens-before claims hold under every
+    schedule the generator explores. *)
+
+type action =
+  | Put of { ring : int; iter : int; value : int }
+  | Get of { ring : int; iter : int }
+  | Consumed of { ring : int; iter : int }
+
+type agent = { name : string; actions : action array; mutable pc : int }
+
+type outcome =
+  | Completed of (string * int list) list
+      (** per-agent list of values received by [Get], in order *)
+  | Deadlock of string list  (** names of blocked agents *)
+  | Error of string
+
+let run ?(max_steps = 100_000) ~(rings : int Ring.t array)
+    ~(choose : int array -> int) (agents : agent list) : outcome =
+  let agents = Array.of_list agents in
+  let received = Array.map (fun _ -> ref []) agents in
+  let finished a = a.pc >= Array.length a.actions in
+  let try_step i : [ `Progress | `Blocked ] =
+    let a = agents.(i) in
+    let act = a.actions.(a.pc) in
+    let step =
+      match act with
+      | Put { ring; iter; value } -> (
+        match Ring.put rings.(ring) ~iter value with
+        | Semantics.Ok () -> `Progress
+        | Semantics.Blocked -> `Blocked)
+      | Get { ring; iter } -> (
+        match Ring.get rings.(ring) ~iter with
+        | Semantics.Ok v ->
+          received.(i) := v :: !(received.(i));
+          `Progress
+        | Semantics.Blocked -> `Blocked)
+      | Consumed { ring; iter } -> (
+        match Ring.consumed rings.(ring) ~iter with
+        | Semantics.Ok () -> `Progress
+        | Semantics.Blocked -> `Blocked)
+    in
+    (match step with `Progress -> a.pc <- a.pc + 1 | `Blocked -> ());
+    step
+  in
+  let steps = ref 0 in
+  let result = ref None in
+  (try
+     while !result = None do
+       incr steps;
+       if !steps > max_steps then result := Some (Error "step budget exhausted")
+       else begin
+         let runnable =
+           Array.to_list agents
+           |> List.mapi (fun i a -> (i, a))
+           |> List.filter (fun (_, a) -> not (finished a))
+           |> List.map fst
+         in
+         if runnable = [] then
+           result :=
+             Some
+               (Completed
+                  (Array.to_list
+                     (Array.mapi
+                        (fun i a -> (a.name, List.rev !(received.(i))))
+                        agents)))
+         else begin
+           (* Let the schedule choose among unfinished agents; if the
+              chosen one is blocked, try the others before declaring
+              deadlock. *)
+           let order =
+             let c = choose (Array.of_list runnable) in
+             c :: List.filter (fun i -> i <> c) runnable
+           in
+           let progressed =
+             List.exists (fun i -> try_step i = `Progress) order
+           in
+           if not progressed then
+             result :=
+               Some
+                 (Deadlock
+                    (List.map (fun i -> agents.(i).name) runnable))
+         end
+       end
+     done
+   with Semantics.Protocol_error msg -> result := Some (Error msg));
+  Option.get !result
+
+(** Ping-pong program (paper §VI, future work): two agents alternate
+    producer/consumer roles across iterations. Agent 0 produces even
+    iterations into ring 0 and consumes odd iterations from ring 1;
+    agent 1 mirrors it. Work (and hence tensor-core vs data-movement
+    duty) alternates between the warp groups every iteration, which is
+    how ping-pong kernels balance shifting compute/transfer demands. *)
+let pingpong_program ~n =
+  (* Iterations of each parity, re-indexed densely per ring. *)
+  let agent name ~produces_even =
+    let actions = ref [] in
+    for k = 0 to n - 1 do
+      let even = k mod 2 = 0 in
+      let ring = if even then 0 else 1 in
+      let iter = k / 2 in
+      if even = produces_even then
+        (* producer role this iteration *)
+        actions := Put { ring; iter; value = k } :: !actions
+      else begin
+        (* consumer role this iteration *)
+        actions := Consumed { ring; iter } :: Get { ring; iter } :: !actions
+      end
+    done;
+    { name; actions = Array.of_list (List.rev !actions); pc = 0 }
+  in
+  [ agent "pingpong-0" ~produces_even:true; agent "pingpong-1" ~produces_even:false ]
+
+(** The canonical producer/consumer program of the loop-distribution
+    pass: producer puts iterations [0..n), consumer gets and releases
+    them in order, over a ring of depth [d]. *)
+let producer_consumer_program ~n =
+  let producer =
+    { name = "producer";
+      actions = Array.init n (fun k -> Put { ring = 0; iter = k; value = k });
+      pc = 0 }
+  in
+  let consumer =
+    {
+      name = "consumer";
+      actions =
+        Array.init (2 * n) (fun j ->
+            let k = j / 2 in
+            if j mod 2 = 0 then Get { ring = 0; iter = k }
+            else Consumed { ring = 0; iter = k });
+      pc = 0;
+    }
+  in
+  [ producer; consumer ]

@@ -1,0 +1,1 @@
+lib/baselines/frameworks.ml: Autotune Config Dtype Flow Kernels Launch Tawa_core Tawa_frontend Tawa_gpusim Tawa_tensor Workloads

@@ -1,0 +1,1 @@
+lib/core/autotune.ml: Config Dtype Flow Kernels Launch List Resources Tawa_frontend Tawa_gpusim Tawa_machine Tawa_tensor Workloads

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Codegen Isa Kernel Manager Printer Sw_pipeline Tawa_ir Tawa_machine Tawa_passes Verifier

@@ -1,0 +1,1 @@
+lib/core/workloads.ml: Dtype Float Kernels List Reference Sim Tawa_frontend Tawa_gpusim Tawa_tensor

@@ -1,0 +1,101 @@
+(** Configuration search over the Tawa hyperparameters: aref depth [D],
+    MMA pipeline depth [P], tile shape (with cooperative warp groups
+    for the large tiles of §IV-A), and persistence. The paper selects
+    these manually (§V-A, "the size of the aref and the depth of the
+    MMA pipeline are selected manually to maximize performance"); this
+    module automates the same sweep over the resource-feasible region
+    using the timing simulator, and also exposes the raw grid for
+    Fig. 11. *)
+
+open Tawa_tensor
+open Tawa_frontend
+open Tawa_machine
+open Tawa_gpusim
+
+type candidate = {
+  tiles : Kernels.tile_config;
+  aref_depth : int;
+  mma_depth : int;
+  coop : int;
+  persistent : bool;
+}
+
+type measurement = { candidate : candidate; tflops : float; cycles : float }
+
+let gemm_candidates ?(persistent_choices = [ false; true ]) ~(dtype : Dtype.t) () =
+  let tile_choices =
+    [ ({ Kernels.block_m = 128; block_n = 128; block_k = 64 }, 1);
+      ({ Kernels.block_m = 128; block_n = 256; block_k = 64 }, 2) ]
+  in
+  List.concat_map
+    (fun (tiles, coop) ->
+      List.concat_map
+        (fun aref_depth ->
+          List.concat_map
+            (fun mma_depth ->
+              List.filter_map
+                (fun persistent ->
+                  match
+                    Resources.check_gemm ~block_m:tiles.Kernels.block_m
+                      ~block_n:tiles.Kernels.block_n ~block_k:tiles.Kernels.block_k
+                      ~aref_depth ~mma_depth ~coop ~dtype
+                  with
+                  | Resources.Feasible _ ->
+                    Some { tiles; aref_depth; mma_depth; coop; persistent }
+                  | Resources.Infeasible _ -> None)
+                persistent_choices)
+            [ 1; 2; 3 ])
+        [ 1; 2; 3; 4 ])
+    tile_choices
+
+(** Measure one GEMM candidate with the timing simulator. *)
+let measure_gemm ~(cfg : Config.t) (shape : Workloads.gemm_shape) (c : candidate) :
+    measurement =
+  let kernel = Kernels.gemm ~tiles:c.tiles ~dtype:shape.Workloads.dtype () in
+  let compiled =
+    Flow.compile
+      ~options:
+        {
+          Flow.aref_depth = c.aref_depth;
+          mma_depth = c.mma_depth;
+          num_consumer_wgs = c.coop;
+          persistent = c.persistent;
+          use_coarse = false;
+        }
+      kernel
+  in
+  let grid, params = Workloads.gemm_launch shape ~tiles:c.tiles in
+  let t =
+    Launch.estimate ~cfg compiled.Flow.program ~params ~grid
+      ~flops:(Workloads.gemm_flops shape)
+  in
+  { candidate = c; tflops = t.Launch.tflops; cycles = t.Launch.cycles }
+
+(** Best feasible configuration for a GEMM shape. *)
+let tune_gemm ?(cfg = Config.h100) (shape : Workloads.gemm_shape) : measurement =
+  let cands = gemm_candidates ~dtype:shape.Workloads.dtype () in
+  match List.map (measure_gemm ~cfg shape) cands with
+  | [] -> invalid_arg "Autotune.tune_gemm: no feasible candidate"
+  | ms -> List.fold_left (fun best m -> if m.tflops > best.tflops then m else best)
+            (List.hd ms) ms
+
+(** The full (D, P) grid at a fixed tile shape — the data of Fig. 11.
+    Infeasible points are [None]. *)
+let dp_grid ?(cfg = Config.h100) ~(tiles : Kernels.tile_config) ~coop ~persistent
+    (shape : Workloads.gemm_shape) ~max_d ~max_p =
+  List.map
+    (fun d ->
+      List.map
+        (fun p ->
+          match
+            Resources.check_gemm ~block_m:tiles.Kernels.block_m
+              ~block_n:tiles.Kernels.block_n ~block_k:tiles.Kernels.block_k ~aref_depth:d
+              ~mma_depth:p ~coop ~dtype:shape.Workloads.dtype
+          with
+          | Resources.Infeasible _ -> None
+          | Resources.Feasible _ ->
+            Some
+              (measure_gemm ~cfg shape
+                 { tiles; aref_depth = d; mma_depth = p; coop; persistent }))
+        (List.init max_p (fun i -> i + 1)))
+    (List.init max_d (fun i -> i + 1))

@@ -1,0 +1,96 @@
+(** The Tawa compilation flow (Fig. 2a): frontend kernel -> Tawa passes
+    -> machine program, with one options record covering both the IR
+    transformations and code generation. This is the primary public
+    entry point of the library. *)
+
+open Tawa_ir
+open Tawa_passes
+open Tawa_machine
+
+type options = {
+  aref_depth : int;        (* D (§III-B) *)
+  mma_depth : int;         (* P (§III-D.1) *)
+  num_consumer_wgs : int;  (* cooperative consumer warp groups (§IV-A) *)
+  persistent : bool;       (* persistent kernels (§IV-B) *)
+  use_coarse : bool;       (* coarse-grained T/C/U pipeline (§III-D.2) *)
+}
+
+let default_options =
+  { aref_depth = 2; mma_depth = 2; num_consumer_wgs = 1; persistent = false;
+    use_coarse = false }
+
+type compiled = {
+  source : Kernel.t;            (* the frontend kernel, untouched *)
+  transformed : Kernel.t;       (* after the Tawa passes *)
+  program : Isa.program;        (* lowered machine code *)
+  warp_specialized : bool;
+  coarse : bool;
+  options : options;
+}
+
+(** Compile a frontend kernel through the full Tawa pipeline. *)
+let compile ?(options = default_options) (kernel : Kernel.t) : compiled =
+  let mopts =
+    {
+      Manager.default_options with
+      aref_depth = options.aref_depth;
+      mma_depth = options.mma_depth;
+      num_consumer_wgs = options.num_consumer_wgs;
+      persistent = options.persistent;
+      use_coarse = options.use_coarse;
+    }
+  in
+  let r = Manager.compile ~options:mopts kernel in
+  let program = Codegen.lower r.Manager.kernel in
+  {
+    source = kernel;
+    transformed = r.Manager.kernel;
+    program;
+    warp_specialized = r.Manager.warp_specialized;
+    coarse = r.Manager.coarse;
+    options;
+  }
+
+(** Compile with the Triton-style Ampere software pipeline instead of
+    warp specialization (the paper's Triton baseline). *)
+let compile_sw_pipelined ?(stages = 3) (kernel : Kernel.t) : compiled =
+  let transformed = Sw_pipeline.apply ~stages kernel in
+  Verifier.verify transformed;
+  {
+    source = kernel;
+    transformed;
+    program = Codegen.lower transformed;
+    warp_specialized = false;
+    coarse = false;
+    options = { default_options with aref_depth = stages };
+  }
+
+(** Compile without any pipelining or asynchrony (naive global loads) —
+    the "w/o WS" baseline of the Fig. 12 ablation. *)
+let compile_naive (kernel : Kernel.t) : compiled =
+  {
+    source = kernel;
+    transformed = kernel;
+    program =
+      Codegen.lower
+        ~options:{ Codegen.default_options with load_style = Codegen.Ldg_naive }
+        kernel;
+    warp_specialized = false;
+    coarse = false;
+    options = default_options;
+  }
+
+(** Compile without warp specialization but with synchronous TMA
+    (loads wait immediately; no overlap). *)
+let compile_sync_tma (kernel : Kernel.t) : compiled =
+  {
+    source = kernel;
+    transformed = kernel;
+    program = Codegen.lower kernel;
+    warp_specialized = false;
+    coarse = false;
+    options = default_options;
+  }
+
+let dump_ir (c : compiled) = Printer.kernel_to_string c.transformed
+let dump_asm (c : compiled) = Isa.program_to_string c.program

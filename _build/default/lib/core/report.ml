@@ -1,0 +1,47 @@
+(** Plain-text table rendering for the benchmark harness and the
+    examples. *)
+
+let render ~(header : string list) (rows : string list list) : string =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun m row -> max m (try String.length (List.nth row c) with _ -> 0))
+      0 all
+  in
+  let widths = List.init ncols width in
+  let line ch =
+    String.concat "-+-" (List.map (fun w -> String.make w ch) widths)
+  in
+  let fmt_row row =
+    String.concat " | "
+      (List.mapi
+         (fun c w ->
+           let s = try List.nth row c with _ -> "" in
+           s ^ String.make (max 0 (w - String.length s)) ' ')
+         widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (fmt_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (fmt_row r);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+
+let speedup ~over x = Printf.sprintf "%.2fx" (x /. over)
+
+(** Geometric mean of ratios, the paper's "average speedup". *)
+let geomean xs =
+  match xs with
+  | [] -> 1.0
+  | _ ->
+    let n = Float.of_int (List.length xs) in
+    exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)

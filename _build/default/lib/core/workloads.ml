@@ -1,0 +1,90 @@
+(** The paper's workloads (§V-A): GEMM and variants, multi-head
+    attention — with FLOP accounting, grid computation, and parameter
+    binding for both functional verification and timing estimation. *)
+
+open Tawa_tensor
+open Tawa_frontend
+open Tawa_gpusim
+
+type gemm_shape = { m : int; n : int; k : int; dtype : Dtype.t }
+
+type mha_shape = {
+  batch : int;
+  heads : int;
+  len : int;
+  head_dim : int;
+  causal : bool;
+  mha_dtype : Dtype.t;
+}
+
+(** The paper's GEMM sweep: M = N = 8192, K in 256..16384. *)
+let paper_gemm_ks = [ 256; 512; 1024; 2048; 4096; 8192; 16384 ]
+let paper_gemm ?(dtype = Dtype.F16) k = { m = 8192; n = 8192; k; dtype }
+
+(** The paper's MHA sweep: L in 1024..16384, batch 4, head dim 128.
+    Head count chosen so the model width stays 4096. *)
+let paper_mha_lens = [ 1024; 2048; 4096; 8192; 16384 ]
+let paper_mha ?(dtype = Dtype.F16) ?(causal = false) len =
+  { batch = 4; heads = 32; len; head_dim = 128; causal; mha_dtype = dtype }
+
+let gemm_flops (s : gemm_shape) = Reference.gemm_flops ~m:s.m ~n:s.n ~k:s.k
+
+let mha_flops (s : mha_shape) =
+  Reference.attention_flops ~causal:s.causal ~batch:s.batch ~heads:s.heads ~len:s.len
+    ~head_dim:s.head_dim ()
+
+(** Grid and timing-mode parameters of a GEMM launch. *)
+let gemm_launch (s : gemm_shape) ~(tiles : Kernels.tile_config) =
+  let grid =
+    ( (s.m + tiles.Kernels.block_m - 1) / tiles.Kernels.block_m,
+      (s.n + tiles.Kernels.block_n - 1) / tiles.Kernels.block_n,
+      1 )
+  in
+  let params =
+    [ Sim.Rnone; Sim.Rnone; Sim.Rnone; Sim.Rint s.m; Sim.Rint s.n; Sim.Rint s.k ]
+  in
+  (grid, params)
+
+(** Grid and timing-mode parameters of one attention launch covering
+    all (batch, head) pairs via grid axis 1. All heads share the same
+    per-head program; axis-1 instances only select different base
+    pointers on real hardware, which the timing model need not
+    distinguish. *)
+let mha_launch (s : mha_shape) ~block_m =
+  let grid = ((s.len + block_m - 1) / block_m, s.batch * s.heads, 1) in
+  let params = [ Sim.Rnone; Sim.Rnone; Sim.Rnone; Sim.Rnone; Sim.Rint s.len ] in
+  (grid, params)
+
+(** Batched GEMM launch (Fig. 9 left): grid axis 2 is the batch. *)
+let batched_gemm_launch ~batch (s : gemm_shape) ~(tiles : Kernels.tile_config) =
+  let grid =
+    ( (s.m + tiles.Kernels.block_m - 1) / tiles.Kernels.block_m,
+      (s.n + tiles.Kernels.block_n - 1) / tiles.Kernels.block_n,
+      batch )
+  in
+  let params =
+    [ Sim.Rnone; Sim.Rnone; Sim.Rnone; Sim.Rint s.m; Sim.Rint s.n; Sim.Rint s.k;
+      Sim.Rint batch ]
+  in
+  (grid, params)
+
+let batched_gemm_flops ~batch (s : gemm_shape) = Float.of_int batch *. gemm_flops s
+
+(** Grouped GEMM (Fig. 9 right): independent GEMMs of varying shapes
+    processed by one persistent launch. *)
+type group = gemm_shape list
+
+let grouped_gemm_flops (g : group) = List.fold_left (fun a s -> a +. gemm_flops s) 0.0 g
+
+(** The paper's grouped-GEMM configurations (MoE-style expert shapes). *)
+let paper_groups : (string * group) list =
+  let e ~m ~n ~k = { m; n; k; dtype = Dtype.F16 } in
+  [
+    ("4x(4096,4096,1024)", List.init 4 (fun _ -> e ~m:4096 ~n:4096 ~k:1024));
+    ( "8 mixed experts",
+      [ e ~m:4096 ~n:4096 ~k:512; e ~m:2048 ~n:4096 ~k:1024; e ~m:4096 ~n:2048 ~k:2048;
+        e ~m:1024 ~n:8192 ~k:512; e ~m:8192 ~n:1024 ~k:1024; e ~m:2048 ~n:2048 ~k:4096;
+        e ~m:4096 ~n:4096 ~k:256; e ~m:2048 ~n:8192 ~k:512 ] );
+    ( "16 small experts",
+      List.init 16 (fun i -> e ~m:1024 ~n:2048 ~k:(256 * (1 + (i mod 4)))) );
+  ]

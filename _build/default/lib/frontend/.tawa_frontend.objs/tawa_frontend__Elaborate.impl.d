@@ -1,0 +1,1 @@
+lib/frontend/elaborate.ml: Ast Builder Dtype Format Kernel List Op Parser Tawa_ir Tawa_tensor Types Value Verifier

@@ -1,0 +1,1 @@
+lib/frontend/kernels.ml: Builder Dtype Float List Op Tawa_ir Tawa_tensor Types

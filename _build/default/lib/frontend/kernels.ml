@@ -1,0 +1,242 @@
+(** Canonical tile kernels written against the builder EDSL — the
+    OCaml analogue of the Triton-Python sources in the paper's Fig. 2b.
+    These are the inputs to the Tawa compilation flow; they contain no
+    warp-specialization, aref, or pipelining constructs. *)
+
+open Tawa_tensor
+open Tawa_ir
+
+(** Tile configuration: the [tl.constexpr] block shape. *)
+type tile_config = { block_m : int; block_n : int; block_k : int }
+
+let default_tiles = { block_m = 128; block_n = 128; block_k = 64 }
+
+(** GEMM C[M,N] = A[M,K] * B[K,N] (paper Fig. 2b). One program computes
+    one [block_m x block_n] output tile; grid axes (0,1) index the tile
+    grid. Inputs in [dtype], accumulation in f32, output in f16. *)
+let gemm ?(tiles = default_tiles) ?(dtype = Dtype.F16) () =
+  let { block_m = bm; block_n = bn; block_k = bk } = tiles in
+  Builder.kernel "matmul"
+    [ ("a", Types.ptr dtype); ("b", Types.ptr dtype); ("c", Types.ptr Dtype.F16);
+      ("M", Types.i32); ("N", Types.i32); ("K", Types.i32) ]
+    (fun b ps ->
+      let a_ptr, b_ptr, c_ptr, m, n, k =
+        match ps with
+        | [ a; bb; c; m; n; k ] -> (a, bb, c, m, n, k)
+        | _ -> assert false
+      in
+      let c1 = Builder.const_i b 1 in
+      let desc_a = Builder.make_tensor_desc b a_ptr ~sizes:[ m; k ] ~strides:[ k; c1 ] ~dtype in
+      let desc_b = Builder.make_tensor_desc b b_ptr ~sizes:[ k; n ] ~strides:[ n; c1 ] ~dtype in
+      let desc_c =
+        Builder.make_tensor_desc b c_ptr ~sizes:[ m; n ] ~strides:[ n; c1 ] ~dtype:Dtype.F16
+      in
+      let pid_m = Builder.program_id b 0 in
+      let pid_n = Builder.program_id b 1 in
+      let offs_m = Builder.mul b pid_m (Builder.const_i b bm) in
+      let offs_n = Builder.mul b pid_n (Builder.const_i b bn) in
+      let acc0 = Builder.zeros b [ bm; bn ] Dtype.F32 in
+      let lb = Builder.const_i b 0 in
+      let step = Builder.const_i b bk in
+      let results =
+        Builder.for_ b ~lb ~ub:k ~step ~inits:[ acc0 ] (fun iv iters ->
+            let acc = List.hd iters in
+            let a_tile = Builder.tma_load b desc_a ~offsets:[ offs_m; iv ] ~shape:[ bm; bk ] in
+            let b_tile = Builder.tma_load b desc_b ~offsets:[ iv; offs_n ] ~shape:[ bk; bn ] in
+            let acc' = Builder.dot b a_tile b_tile acc in
+            [ acc' ])
+      in
+      let acc = List.hd results in
+      let out = Builder.cast b acc (Types.tensor [ bm; bn ] Dtype.F16) in
+      Builder.tma_store b desc_c ~offsets:[ offs_m; offs_n ] out)
+
+(** Batched GEMM: [batch] GEMMs of identical shape in one kernel. The
+    operand batches are stacked row-wise (A is [batch*M, K], B is
+    [batch*K, N], C is [batch*M, N]); grid axis 2 selects the batch.
+    This is the pattern of the paper's Fig. 9 (left). *)
+let batched_gemm ?(tiles = default_tiles) ?(dtype = Dtype.F16) () =
+  let { block_m = bm; block_n = bn; block_k = bk } = tiles in
+  Builder.kernel "batched_matmul"
+    [ ("a", Types.ptr dtype); ("b", Types.ptr dtype); ("c", Types.ptr Dtype.F16);
+      ("M", Types.i32); ("N", Types.i32); ("K", Types.i32); ("BATCH", Types.i32) ]
+    (fun b ps ->
+      let a_ptr, b_ptr, c_ptr, m, n, k, batch =
+        match ps with
+        | [ a; bb; c; m; n; k; bt ] -> (a, bb, c, m, n, k, bt)
+        | _ -> assert false
+      in
+      let c1 = Builder.const_i b 1 in
+      let rows_a = Builder.mul b batch m in
+      let rows_b = Builder.mul b batch k in
+      let desc_a =
+        Builder.make_tensor_desc b a_ptr ~sizes:[ rows_a; k ] ~strides:[ k; c1 ] ~dtype
+      in
+      let desc_b =
+        Builder.make_tensor_desc b b_ptr ~sizes:[ rows_b; n ] ~strides:[ n; c1 ] ~dtype
+      in
+      let desc_c =
+        Builder.make_tensor_desc b c_ptr ~sizes:[ rows_a; n ] ~strides:[ n; c1 ]
+          ~dtype:Dtype.F16
+      in
+      let pid_m = Builder.program_id b 0 in
+      let pid_n = Builder.program_id b 1 in
+      let pid_b = Builder.program_id b 2 in
+      let base_a = Builder.mul b pid_b m in
+      let base_b = Builder.mul b pid_b k in
+      let offs_m = Builder.add b base_a (Builder.mul b pid_m (Builder.const_i b bm)) in
+      let offs_n = Builder.mul b pid_n (Builder.const_i b bn) in
+      let acc0 = Builder.zeros b [ bm; bn ] Dtype.F32 in
+      let lb = Builder.const_i b 0 in
+      let step = Builder.const_i b bk in
+      let results =
+        Builder.for_ b ~lb ~ub:k ~step ~inits:[ acc0 ] (fun iv iters ->
+            let acc = List.hd iters in
+            let a_off = Builder.add b base_a (Builder.mul b pid_m (Builder.const_i b bm)) in
+            let k_off = Builder.add b base_b iv in
+            let a_tile = Builder.tma_load b desc_a ~offsets:[ a_off; iv ] ~shape:[ bm; bk ] in
+            let b_tile = Builder.tma_load b desc_b ~offsets:[ k_off; offs_n ] ~shape:[ bk; bn ] in
+            let acc' = Builder.dot b a_tile b_tile acc in
+            [ acc' ])
+      in
+      let acc = List.hd results in
+      let out = Builder.cast b acc (Types.tensor [ bm; bn ] Dtype.F16) in
+      Builder.tma_store b desc_c ~offsets:[ offs_m; offs_n ] out)
+
+(** Multi-head attention for one (batch, head): FlashAttention-style
+    blocked online softmax over KV tiles. Q/K/V/O are [L, head_dim].
+    The loop body contains the T (QK^T) / C (softmax) / U (PV) stages
+    that the coarse-grained pipelining pass (§III-D.2) identifies. *)
+let attention ?(block_m = 128) ?(block_n = 128) ?(head_dim = 128) ?(causal = false)
+    ?(dtype = Dtype.F16) () =
+  let bm = block_m and bn = block_n and d = head_dim in
+  Builder.kernel (if causal then "attention_causal" else "attention")
+    [ ("q", Types.ptr dtype); ("k", Types.ptr dtype); ("v", Types.ptr dtype);
+      ("o", Types.ptr Dtype.F16); ("L", Types.i32) ]
+    (fun b ps ->
+      let q_ptr, k_ptr, v_ptr, o_ptr, l =
+        match ps with
+        | [ q; k; v; o; l ] -> (q, k, v, o, l)
+        | _ -> assert false
+      in
+      let c1 = Builder.const_i b 1 in
+      let cd = Builder.const_i b d in
+      let desc_q = Builder.make_tensor_desc b q_ptr ~sizes:[ l; cd ] ~strides:[ cd; c1 ] ~dtype in
+      let desc_k = Builder.make_tensor_desc b k_ptr ~sizes:[ l; cd ] ~strides:[ cd; c1 ] ~dtype in
+      let desc_v = Builder.make_tensor_desc b v_ptr ~sizes:[ l; cd ] ~strides:[ cd; c1 ] ~dtype in
+      let desc_o =
+        Builder.make_tensor_desc b o_ptr ~sizes:[ l; cd ] ~strides:[ cd; c1 ] ~dtype:Dtype.F16
+      in
+      let pid = Builder.program_id b 0 in
+      let offs_m = Builder.mul b pid (Builder.const_i b bm) in
+      let q_tile = Builder.tma_load b desc_q ~offsets:[ offs_m; Builder.const_i b 0 ] ~shape:[ bm; d ] in
+      let scale = 1.0 /. sqrt (Float.of_int d) in
+      let acc0 = Builder.zeros b [ bm; d ] Dtype.F32 in
+      let m0 = Builder.splat b (Builder.const_f b Float.neg_infinity) [ bm ] in
+      let l0 = Builder.zeros b [ bm ] Dtype.F32 in
+      let lb = Builder.const_i b 0 in
+      let step = Builder.const_i b bn in
+      (* Causal programs only visit KV blocks at or before the query
+         block's diagonal. *)
+      let ub =
+        if causal then Builder.add b offs_m (Builder.const_i b bm) else l
+      in
+      let results =
+        Builder.for_ b ~lb ~ub ~step ~inits:[ acc0; m0; l0 ] (fun iv iters ->
+            let acc, m_i, l_i =
+              match iters with
+              | [ a; m; li ] -> (a, m, li)
+              | _ -> assert false
+            in
+            (* T stage: S = Q K^T * scale *)
+            let k_tile = Builder.tma_load b desc_k ~offsets:[ iv; Builder.const_i b 0 ] ~shape:[ bn; d ] in
+            let kt = Builder.trans b k_tile in
+            let s0 = Builder.zeros b [ bm; bn ] Dtype.F32 in
+            let s = Builder.dot b q_tile kt s0 in
+            let s = Builder.mul b s (Builder.splat b (Builder.const_f b scale) [ bm; bn ]) in
+            let s =
+              if not causal then s
+              else begin
+                (* mask: query row (offs_m + i) >= key col (iv + j) *)
+                let rows = Builder.iota b bm in
+                let cols = Builder.iota b bn in
+                let rows = Builder.add b rows (Builder.splat b offs_m [ bm ]) in
+                let cols = Builder.add b cols (Builder.splat b iv [ bn ]) in
+                let rows2 = Builder.broadcast b (Builder.expand_dims b rows 1) [ bm; bn ] in
+                let cols2 = Builder.broadcast b (Builder.expand_dims b cols 0) [ bm; bn ] in
+                let mask = Builder.cmp b Op.Ge rows2 cols2 in
+                let neg = Builder.splat b (Builder.const_f b (-1e30)) [ bm; bn ] in
+                Builder.select b mask s neg
+              end
+            in
+            (* C stage: online softmax update *)
+            let row_max = Builder.reduce b Op.Red_max 1 s in
+            let m_new = Builder.max_ b m_i row_max in
+            let m_new_b = Builder.broadcast b (Builder.expand_dims b m_new 1) [ bm; bn ] in
+            let p = Builder.exp b (Builder.sub b s m_new_b) in
+            let alpha = Builder.exp b (Builder.sub b m_i m_new) in
+            let row_sum = Builder.reduce b Op.Red_sum 1 p in
+            let l_new = Builder.add b (Builder.mul b alpha l_i) row_sum in
+            let alpha_b = Builder.broadcast b (Builder.expand_dims b alpha 1) [ bm; d ] in
+            let acc = Builder.mul b acc alpha_b in
+            (* U stage: O += P V *)
+            let p16 = Builder.cast b p (Types.tensor [ bm; bn ] dtype) in
+            let v_tile = Builder.tma_load b desc_v ~offsets:[ iv; Builder.const_i b 0 ] ~shape:[ bn; d ] in
+            let acc = Builder.dot b p16 v_tile acc in
+            [ acc; m_new; l_new ])
+      in
+      let acc, l_i =
+        match results with
+        | [ a; _m; li ] -> (a, li)
+        | _ -> assert false
+      in
+      let l_b = Builder.broadcast b (Builder.expand_dims b l_i 1) [ bm; d ] in
+      let o = Builder.div b acc l_b in
+      let o16 = Builder.cast b o (Types.tensor [ bm; d ] Dtype.F16) in
+      Builder.tma_store b desc_o ~offsets:[ offs_m; Builder.const_i b 0 ] o16)
+
+(** A GEMM with a CUDA-core epilogue (bias add + ReLU) — exercises the
+    partitioner's handling of tile statements after the loop. *)
+let gemm_bias_relu ?(tiles = default_tiles) ?(dtype = Dtype.F16) () =
+  let { block_m = bm; block_n = bn; block_k = bk } = tiles in
+  Builder.kernel "matmul_bias_relu"
+    [ ("a", Types.ptr dtype); ("b", Types.ptr dtype); ("bias", Types.ptr Dtype.F32);
+      ("c", Types.ptr Dtype.F16); ("M", Types.i32); ("N", Types.i32); ("K", Types.i32) ]
+    (fun b ps ->
+      let a_ptr, b_ptr, bias_ptr, c_ptr, m, n, k =
+        match ps with
+        | [ a; bb; bias; c; m; n; k ] -> (a, bb, bias, c, m, n, k)
+        | _ -> assert false
+      in
+      let c1 = Builder.const_i b 1 in
+      let desc_a = Builder.make_tensor_desc b a_ptr ~sizes:[ m; k ] ~strides:[ k; c1 ] ~dtype in
+      let desc_b = Builder.make_tensor_desc b b_ptr ~sizes:[ k; n ] ~strides:[ n; c1 ] ~dtype in
+      let desc_bias =
+        Builder.make_tensor_desc b bias_ptr ~sizes:[ c1; n ] ~strides:[ n; c1 ] ~dtype:Dtype.F32
+      in
+      let desc_c =
+        Builder.make_tensor_desc b c_ptr ~sizes:[ m; n ] ~strides:[ n; c1 ] ~dtype:Dtype.F16
+      in
+      let pid_m = Builder.program_id b 0 in
+      let pid_n = Builder.program_id b 1 in
+      let offs_m = Builder.mul b pid_m (Builder.const_i b bm) in
+      let offs_n = Builder.mul b pid_n (Builder.const_i b bn) in
+      let acc0 = Builder.zeros b [ bm; bn ] Dtype.F32 in
+      let lb = Builder.const_i b 0 in
+      let step = Builder.const_i b bk in
+      let results =
+        Builder.for_ b ~lb ~ub:k ~step ~inits:[ acc0 ] (fun iv iters ->
+            let acc = List.hd iters in
+            let a_tile = Builder.tma_load b desc_a ~offsets:[ offs_m; iv ] ~shape:[ bm; bk ] in
+            let b_tile = Builder.tma_load b desc_b ~offsets:[ iv; offs_n ] ~shape:[ bk; bn ] in
+            [ Builder.dot b a_tile b_tile acc ])
+      in
+      let acc = List.hd results in
+      let bias_row =
+        Builder.tma_load b desc_bias ~offsets:[ Builder.const_i b 0; offs_n ] ~shape:[ 1; bn ]
+      in
+      let bias_b = Builder.broadcast b bias_row [ bm; bn ] in
+      let acc = Builder.add b acc bias_b in
+      let zero = Builder.zeros b [ bm; bn ] Dtype.F32 in
+      let acc = Builder.max_ b acc zero in
+      let out = Builder.cast b acc (Types.tensor [ bm; bn ] Dtype.F16) in
+      Builder.tma_store b desc_c ~offsets:[ offs_m; offs_n ] out)

@@ -1,0 +1,144 @@
+(** Hand-written lexer for the tile DSL. (Menhir/ocamllex are not part
+    of the sealed environment, and the grammar is small enough that a
+    hand-rolled scanner with precise positions is the simpler choice.) *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KERNEL | FOR | IN | STEP | WITH | IF | ELSE | STORE
+  | LPAREN | RPAREN | LBRACKET | RBRACKET | LBRACE | RBRACE
+  | COMMA | SEMI | COLON | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQ | NE
+  | DOTDOT
+  | EOF
+
+type lexeme = { tok : token; pos : Ast.pos }
+
+exception Lex_error of string * Ast.pos
+
+let token_name = function
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | IDENT s -> s
+  | KERNEL -> "kernel" | FOR -> "for" | IN -> "in" | STEP -> "step"
+  | WITH -> "with" | IF -> "if" | ELSE -> "else" | STORE -> "store"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACKET -> "[" | RBRACKET -> "]"
+  | LBRACE -> "{" | RBRACE -> "}"
+  | COMMA -> "," | SEMI -> ";" | COLON -> ":" | ASSIGN -> "="
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">=" | EQ -> "==" | NE -> "!="
+  | DOTDOT -> ".."
+  | EOF -> "<eof>"
+
+let keyword_of = function
+  | "kernel" -> Some KERNEL
+  | "for" -> Some FOR
+  | "in" -> Some IN
+  | "step" -> Some STEP
+  | "with" -> Some WITH
+  | "if" -> Some IF
+  | "else" -> Some ELSE
+  | "store" -> Some STORE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : lexeme list =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  let out = ref [] in
+  let pos i = { Ast.line = !line; col = i - !bol + 1 } in
+  let push tok p = out := { tok; pos = p } :: !out in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    let p = pos !i in
+    if c = '\n' then begin
+      incr line;
+      incr i;
+      bol := !i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then begin
+      (* Line comment. *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do
+        incr j
+      done;
+      (* A '.' begins a fraction only if NOT followed by another '.'
+         (so `0 .. K` and `0..K` both lex as ranges). *)
+      if !j < n && src.[!j] = '.' && not (!j + 1 < n && src.[!j + 1] = '.') then begin
+        incr j;
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done;
+        if !j < n && (src.[!j] = 'e' || src.[!j] = 'E') then begin
+          incr j;
+          if !j < n && (src.[!j] = '+' || src.[!j] = '-') then incr j;
+          while !j < n && is_digit src.[!j] do
+            incr j
+          done
+        end;
+        push (FLOAT (float_of_string (String.sub src !i (!j - !i)))) p
+      end
+      else push (INT (int_of_string (String.sub src !i (!j - !i)))) p;
+      i := !j
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      let word = String.sub src !i (!j - !i) in
+      (match keyword_of word with
+      | Some kw -> push kw p
+      | None -> push (IDENT word) p);
+      i := !j
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | ".." -> push DOTDOT p; i := !i + 2
+      | "<=" -> push LE p; i := !i + 2
+      | ">=" -> push GE p; i := !i + 2
+      | "==" -> push EQ p; i := !i + 2
+      | "!=" -> push NE p; i := !i + 2
+      | _ ->
+        (match c with
+        | '(' -> push LPAREN p
+        | ')' -> push RPAREN p
+        | '[' -> push LBRACKET p
+        | ']' -> push RBRACKET p
+        | '{' -> push LBRACE p
+        | '}' -> push RBRACE p
+        | ',' -> push COMMA p
+        | ';' -> push SEMI p
+        | ':' -> push COLON p
+        | '=' -> push ASSIGN p
+        | '+' -> push PLUS p
+        | '-' -> push MINUS p
+        | '*' -> push STAR p
+        | '/' -> push SLASH p
+        | '%' -> push PERCENT p
+        | '<' -> push LT p
+        | '>' -> push GT p
+        | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, p)));
+        incr i
+    end
+  done;
+  push EOF (pos !i);
+  List.rev !out

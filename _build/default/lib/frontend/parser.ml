@@ -1,0 +1,266 @@
+(** Recursive-descent parser for the tile DSL, with precedence climbing
+    for binary expressions. *)
+
+open Ast
+
+exception Parse_error of string * pos
+
+let fail pos fmt = Format.kasprintf (fun s -> raise (Parse_error (s, pos))) fmt
+
+type state = { mutable toks : Lexer.lexeme list }
+
+let peek st =
+  match st.toks with
+  | [] -> { Lexer.tok = Lexer.EOF; pos = { line = 0; col = 0 } }
+  | l :: _ -> l
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  let l = peek st in
+  if l.Lexer.tok = tok then advance st
+  else
+    fail l.Lexer.pos "expected '%s' but found '%s'" (Lexer.token_name tok)
+      (Lexer.token_name l.Lexer.tok)
+
+let expect_ident st =
+  let l = peek st in
+  match l.Lexer.tok with
+  | Lexer.IDENT s ->
+    advance st;
+    (s, l.Lexer.pos)
+  | t -> fail l.Lexer.pos "expected identifier, found '%s'" (Lexer.token_name t)
+
+(* dtype annotation: a bare identifier checked by the elaborator. *)
+let parse_ty st : ty_ann =
+  let name, pos = expect_ident st in
+  if name = "ptr" then begin
+    expect st Lexer.LT;
+    let d, _ = expect_ident st in
+    expect st Lexer.GT;
+    Ty_ptr d
+  end
+  else if List.mem name [ "f16"; "f8e4m3"; "f8"; "f32"; "i32"; "i1" ] then Ty_scalar name
+  else fail pos "unknown type '%s'" name
+
+(* ----------------------------- expressions ------------------------ *)
+
+let binop_of_token = function
+  | Lexer.PLUS -> Some (Badd, 4)
+  | Lexer.MINUS -> Some (Bsub, 4)
+  | Lexer.STAR -> Some (Bmul, 5)
+  | Lexer.SLASH -> Some (Bdiv, 5)
+  | Lexer.PERCENT -> Some (Brem, 5)
+  | Lexer.LT -> Some (Blt, 3)
+  | Lexer.LE -> Some (Ble, 3)
+  | Lexer.GT -> Some (Bgt, 3)
+  | Lexer.GE -> Some (Bge, 3)
+  | Lexer.EQ -> Some (Beq, 2)
+  | Lexer.NE -> Some (Bne, 2)
+  | _ -> None
+
+let dtype_names = [ "f16"; "f8e4m3"; "f8"; "f32"; "i32"; "i1" ]
+
+let rec parse_expr st = parse_bin st 0
+
+and parse_bin st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    let l = peek st in
+    match binop_of_token l.Lexer.tok with
+    | Some (op, prec) when prec >= min_prec ->
+      advance st;
+      let rhs = parse_bin st (prec + 1) in
+      lhs := { desc = Bin (op, !lhs, rhs); pos = l.Lexer.pos }
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  let l = peek st in
+  match l.Lexer.tok with
+  | Lexer.MINUS ->
+    advance st;
+    let e = parse_unary st in
+    { desc = Neg e; pos = l.Lexer.pos }
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let l = peek st in
+  match l.Lexer.tok with
+  | Lexer.INT i ->
+    advance st;
+    { desc = Int i; pos = l.Lexer.pos }
+  | Lexer.FLOAT f ->
+    advance st;
+    { desc = Float f; pos = l.Lexer.pos }
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.IDENT name ->
+    advance st;
+    if (peek st).Lexer.tok = Lexer.LPAREN then begin
+      advance st;
+      let args = parse_args st in
+      expect st Lexer.RPAREN;
+      { desc = Call (name, args); pos = l.Lexer.pos }
+    end
+    else { desc = Var name; pos = l.Lexer.pos }
+  | t -> fail l.Lexer.pos "unexpected token '%s' in expression" (Lexer.token_name t)
+
+and parse_args st =
+  if (peek st).Lexer.tok = Lexer.RPAREN then []
+  else begin
+    let rec more acc =
+      let arg = parse_arg st in
+      if (peek st).Lexer.tok = Lexer.COMMA then begin
+        advance st;
+        more (arg :: acc)
+      end
+      else List.rev (arg :: acc)
+    in
+    more []
+  end
+
+and parse_arg st =
+  let l = peek st in
+  match l.Lexer.tok with
+  | Lexer.LBRACKET ->
+    advance st;
+    let rec elems acc =
+      let e = parse_expr st in
+      if (peek st).Lexer.tok = Lexer.COMMA then begin
+        advance st;
+        elems (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    let es = if (peek st).Lexer.tok = Lexer.RBRACKET then [] else elems [] in
+    expect st Lexer.RBRACKET;
+    Alist es
+  | Lexer.IDENT d when List.mem d dtype_names ->
+    (* A bare dtype name is a dtype argument unless it is being used as
+       a variable or call (disambiguate by lookahead). *)
+    let rest = st.toks in
+    advance st;
+    (match (peek st).Lexer.tok with
+    | Lexer.COMMA | Lexer.RPAREN -> Adtype d
+    | _ ->
+      st.toks <- rest;
+      Apos (parse_expr st))
+  | _ -> Apos (parse_expr st)
+
+(* ----------------------------- statements ------------------------- *)
+
+let rec parse_stmt st : stmt =
+  let l = peek st in
+  match l.Lexer.tok with
+  | Lexer.STORE ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let args = parse_args st in
+    expect st Lexer.RPAREN;
+    expect st Lexer.SEMI;
+    { sdesc = Store args; spos = l.Lexer.pos }
+  | Lexer.FOR ->
+    advance st;
+    let var, _ = expect_ident st in
+    expect st Lexer.IN;
+    let lo = parse_expr st in
+    expect st Lexer.DOTDOT;
+    let hi = parse_expr st in
+    let step =
+      if (peek st).Lexer.tok = Lexer.STEP then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    let carried = parse_with st in
+    let body = parse_block st in
+    { sdesc = For { var; lo; hi; step; carried; body }; spos = l.Lexer.pos }
+  | Lexer.IF ->
+    advance st;
+    let cond = parse_expr st in
+    let carried = parse_with st in
+    let then_ = parse_block st in
+    let else_ =
+      if (peek st).Lexer.tok = Lexer.ELSE then begin
+        advance st;
+        parse_block st
+      end
+      else []
+    in
+    { sdesc = If { cond; carried; then_; else_ }; spos = l.Lexer.pos }
+  | Lexer.IDENT name ->
+    advance st;
+    expect st Lexer.ASSIGN;
+    let e = parse_expr st in
+    expect st Lexer.SEMI;
+    { sdesc = Assign (name, e); spos = l.Lexer.pos }
+  | t -> fail l.Lexer.pos "unexpected token '%s' at statement start" (Lexer.token_name t)
+
+and parse_with st =
+  if (peek st).Lexer.tok = Lexer.WITH then begin
+    advance st;
+    expect st Lexer.LPAREN;
+    let rec names acc =
+      let n, _ = expect_ident st in
+      if (peek st).Lexer.tok = Lexer.COMMA then begin
+        advance st;
+        names (n :: acc)
+      end
+      else List.rev (n :: acc)
+    in
+    let ns = names [] in
+    expect st Lexer.RPAREN;
+    ns
+  end
+  else []
+
+and parse_block st : stmt list =
+  expect st Lexer.LBRACE;
+  let rec stmts acc =
+    if (peek st).Lexer.tok = Lexer.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else stmts (parse_stmt st :: acc)
+  in
+  stmts []
+
+let parse_kernel st : kernel =
+  let l = peek st in
+  expect st Lexer.KERNEL;
+  let kname, _ = expect_ident st in
+  expect st Lexer.LPAREN;
+  let rec params acc =
+    if (peek st).Lexer.tok = Lexer.RPAREN then List.rev acc
+    else begin
+      let pname, _ = expect_ident st in
+      expect st Lexer.COLON;
+      let pty = parse_ty st in
+      let acc = { pname; pty } :: acc in
+      if (peek st).Lexer.tok = Lexer.COMMA then begin
+        advance st;
+        params acc
+      end
+      else List.rev acc
+    end
+  in
+  let kparams = params [] in
+  expect st Lexer.RPAREN;
+  let kbody = parse_block st in
+  { kname; kparams; kbody; kpos = l.Lexer.pos }
+
+(** Parse a whole source file (one or more kernels). *)
+let parse (src : string) : program =
+  let st = { toks = Lexer.tokenize src } in
+  let rec kernels acc =
+    if (peek st).Lexer.tok = Lexer.EOF then List.rev acc
+    else kernels (parse_kernel st :: acc)
+  in
+  kernels []

@@ -1,0 +1,1 @@
+lib/gpusim/config.ml: Dtype Tawa_tensor

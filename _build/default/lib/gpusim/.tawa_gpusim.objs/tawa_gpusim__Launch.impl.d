@@ -1,0 +1,1 @@
+lib/gpusim/launch.ml: Config Float Fun Isa List Sim Tawa_machine

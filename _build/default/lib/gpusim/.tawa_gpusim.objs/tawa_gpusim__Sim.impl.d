@@ -1,0 +1,1 @@
+lib/gpusim/sim.ml: Array Config Dtype Float Format Fun Hashtbl Interp Isa List Mbarrier Op Printf Queue String Tawa_ir Tawa_machine Tawa_tensor Tensor

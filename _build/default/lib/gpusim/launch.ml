@@ -1,0 +1,179 @@
+(** Kernel launch modelling: full functional grids for verification,
+    and wave-extrapolated timing for paper-scale shapes.
+
+    Functional runs simulate every CTA (or, for persistent kernels, one
+    resident CTA per simulated SM draining a shared work queue), so
+    stores land in real buffers and outputs can be checked against the
+    reference interpreter.
+
+    Timing runs at paper scale (e.g. 4096 CTAs for an 8192x8192 GEMM)
+    simulate one SM's share of the work and extrapolate: persistent
+    kernels process [ceil(tiles / num_sms)] queue items in one resident
+    CTA; non-persistent launches cost
+    [launch_overhead + waves * (cta_cycles + cta_launch)] where a wave
+    is [num_sms] CTAs. *)
+
+open Tawa_machine
+
+type timing = {
+  cycles : float;
+  seconds : float;
+  tflops : float;
+  tc_utilization : float; (* tensor-core busy fraction of total time *)
+  stats : Sim.stats;
+}
+
+let queue_of_list tiles =
+  let remaining = ref tiles in
+  fun () ->
+    match !remaining with
+    | [] -> -1
+    | t :: rest ->
+      remaining := rest;
+      t
+
+let no_queue () = -1
+
+(** Run every program instance of [grid] functionally; mutates the
+    buffers bound to pointer params. Returns total simulated cycles of
+    the slowest path (not meaningful as end-to-end time — use
+    {!estimate} for that). *)
+let run_grid_functional ~(cfg : Config.t) (program : Isa.program) ~(params : Sim.rt list)
+    ~(grid : int * int * int) : float =
+  let cfg = { cfg with Config.functional = true } in
+  let gx, gy, gz = grid in
+  let num_programs = [| gx; gy; gz |] in
+  if program.Isa.persistent then begin
+    let total = gx * gy * gz in
+    let pop = queue_of_list (List.init total Fun.id) in
+    let cta = Sim.create ~cfg ~program ~params ~num_programs ~pop_global:pop in
+    (Sim.run cta).Sim.cycles
+  end
+  else begin
+    let worst = ref 0.0 in
+    for z = 0 to gz - 1 do
+      for y = 0 to gy - 1 do
+        for x = 0 to gx - 1 do
+          let cta =
+            Sim.create ~cfg ~program ~params ~num_programs ~pop_global:no_queue
+          in
+          cta.Sim.pid <- [| x; y; z |];
+          let o = Sim.run cta in
+          if o.Sim.cycles > !worst then worst := o.Sim.cycles
+        done
+      done
+    done;
+    !worst
+  end
+
+(** Timing estimate for a [grid] launch at scale. [flops] is the useful
+    arithmetic of the whole launch (for TFLOPS). [rep_pid] selects the
+    representative tile simulated for non-persistent launches. *)
+let estimate ?(rep_pid = [| 0; 0; 0 |]) ~(cfg : Config.t) (program : Isa.program)
+    ~(params : Sim.rt list) ~(grid : int * int * int) ~(flops : float) : timing =
+  let cfg = { cfg with Config.functional = false } in
+  let gx, gy, gz = grid in
+  let total = gx * gy * gz in
+  let num_programs = [| gx; gy; gz |] in
+  let cycles, stats, tc_utilization =
+    if program.Isa.persistent then begin
+      (* One resident CTA per SM; simulate one SM's share. *)
+      let share = (total + cfg.Config.num_sms - 1) / cfg.Config.num_sms in
+      let tiles = List.init share (fun i -> (i * cfg.Config.num_sms) mod total) in
+      let cta =
+        Sim.create ~cfg ~program ~params ~num_programs
+          ~pop_global:(queue_of_list tiles)
+      in
+      let o = Sim.run cta in
+      let cycles = cfg.Config.launch_overhead_cycles +. o.Sim.cycles in
+      (cycles, o.Sim.stats, o.Sim.stats.Sim.tc_busy /. cycles)
+    end
+    else begin
+      let cta =
+        Sim.create ~cfg ~program ~params ~num_programs ~pop_global:no_queue
+      in
+      cta.Sim.pid <- rep_pid;
+      let o = Sim.run cta in
+      let waves = (total + cfg.Config.num_sms - 1) / cfg.Config.num_sms in
+      let cycles =
+        cfg.Config.launch_overhead_cycles
+        +. Float.of_int waves
+           *. ((o.Sim.cycles *. cfg.Config.wave_jitter) +. cfg.Config.cta_launch_cycles)
+      in
+      (* Per-SM utilization: the simulated CTA's tensor-core busy time
+         over its wave slot (stats cover one CTA, cycles cover the whole
+         launch). *)
+      ( cycles,
+        o.Sim.stats,
+        o.Sim.stats.Sim.tc_busy /. (o.Sim.cycles +. cfg.Config.cta_launch_cycles) )
+    end
+  in
+  let seconds = Config.cycles_to_seconds cfg cycles in
+  { cycles; seconds; tflops = Config.tflops cfg ~flops ~cycles; tc_utilization; stats }
+
+(** Heterogeneous persistent launch (grouped GEMM, Fig. 9): work items
+    carry their own parameter bindings; one resident CTA per SM pops
+    items and re-reads per-item scalars. Modelled by simulating each
+    item's inner program once per assignment and summing one SM's
+    share serially — valid because grouped work items are independent
+    and the queue serializes them on an SM. Programs must be compiled
+    WITHOUT the per-kernel persistent wrapper: the grouped launcher
+    itself provides the persistence (queue pop per tile). *)
+let estimate_grouped ~(cfg : Config.t)
+    (items : (Isa.program * Sim.rt list * (int * int * int) * float) list) : timing =
+  List.iter
+    (fun ((p : Isa.program), _, _, _) ->
+      if p.Isa.persistent then
+        invalid_arg
+          "Launch.estimate_grouped: pass non-persistent programs (the grouped launcher \
+           is the persistence)")
+    items;
+  let cfg = { cfg with Config.functional = false } in
+  (* Expand items to per-tile work units (program, params). *)
+  let units =
+    List.concat_map
+      (fun (program, params, (gx, gy, gz), _flops) ->
+        List.concat_map
+          (fun z ->
+            List.concat_map
+              (fun y -> List.map (fun x -> (program, params, [| x; y; z |], (gx, gy, gz))) (List.init gx Fun.id))
+              (List.init gy Fun.id))
+          (List.init gz Fun.id))
+      items
+  in
+  let flops = List.fold_left (fun acc (_, _, _, f) -> acc +. f) 0.0 items in
+  let n = List.length units in
+  let share = (n + cfg.Config.num_sms - 1) / cfg.Config.num_sms in
+  (* One SM's share: every num_sms-th unit. *)
+  let mine = List.filteri (fun i _ -> i mod cfg.Config.num_sms = 0) units in
+  let mine = List.filteri (fun i _ -> i < share) mine in
+  let agg = ref 0.0 in
+  let stats =
+    { Sim.tc_busy = 0.0; tma_busy = 0.0; tma_bytes = 0.0; wgmma_count = 0; tma_count = 0;
+      steps = 0 }
+  in
+  List.iter
+    (fun (program, params, pid, (gx, gy, gz)) ->
+      let cta =
+        Sim.create ~cfg ~program ~params ~num_programs:[| gx; gy; gz |]
+          ~pop_global:no_queue
+      in
+      cta.Sim.pid <- pid;
+      let o = Sim.run cta in
+      agg := !agg +. o.Sim.cycles;
+      stats.Sim.tc_busy <- stats.Sim.tc_busy +. o.Sim.stats.Sim.tc_busy;
+      stats.Sim.tma_busy <- stats.Sim.tma_busy +. o.Sim.stats.Sim.tma_busy)
+    mine;
+  (* Persistent execution avoids per-item launches; only queue pops. *)
+  let cycles =
+    cfg.Config.launch_overhead_cycles
+    +. !agg
+    +. (Float.of_int (List.length mine) *. cfg.Config.workq_pop_cycles)
+  in
+  {
+    cycles;
+    seconds = Config.cycles_to_seconds cfg cycles;
+    tflops = Config.tflops cfg ~flops ~cycles;
+    tc_utilization = stats.Sim.tc_busy /. cycles;
+    stats;
+  }

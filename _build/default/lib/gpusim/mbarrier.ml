@@ -1,0 +1,67 @@
+(** Simulated Hopper mbarriers.
+
+    A barrier completes a phase when [arrive_count] arrivals (plus, for
+    TMA-fed barriers, the expected transaction bytes — folded into the
+    arrival model here) have been observed. The simulator tracks the
+    full completion history with timestamps; the hardware's phase
+    parity bit is the low bit of the completion count. A waiter asking
+    for completion [n] either time-warps to the recorded completion
+    instant (the completion is already determined by an issued async
+    op) or blocks until a future arrival materializes it. *)
+
+type t = {
+  arrive_count : int;                     (* arrivals per phase completion *)
+  mutable pending : int;                  (* arrivals in the current phase *)
+  mutable pending_time : float;           (* latest arrival time this phase *)
+  mutable completions : float list;       (* completion times, reverse order *)
+  mutable num_completions : int;
+}
+
+let create ~arrive_count =
+  if arrive_count <= 0 then invalid_arg "Mbarrier.create";
+  { arrive_count; pending = 0; pending_time = 0.0; completions = []; num_completions = 0 }
+
+let reset b =
+  b.pending <- 0;
+  b.pending_time <- 0.0;
+  b.completions <- [];
+  b.num_completions <- 0
+
+(** Record one arrival at [time]. Returns [true] when this arrival
+    completes a phase. *)
+let arrive b ~time =
+  b.pending <- b.pending + 1;
+  if time > b.pending_time then b.pending_time <- time;
+  if b.pending >= b.arrive_count then begin
+    b.pending <- 0;
+    let t = b.pending_time in
+    b.pending_time <- 0.0;
+    b.completions <- t :: b.completions;
+    b.num_completions <- b.num_completions + 1;
+    true
+  end
+  else false
+
+let completions b = b.num_completions
+
+(** Phase parity bit after [n] completions — the quantity hardware
+    tracks with 1 bit (§III-E). *)
+let parity_after n = n land 1
+
+(** Time at which completion number [n] (1-based) occurred; requires
+    [n <= completions b]. *)
+let completion_time b n =
+  if n <= 0 then 0.0
+  else begin
+    let idx = b.num_completions - n in
+    (* completions is in reverse order: head is the latest. *)
+    if idx < 0 then invalid_arg "Mbarrier.completion_time: not completed";
+    List.nth b.completions idx
+  end
+
+(** Can a waiter demanding [target] completions proceed, and if so, at
+    what time? *)
+let try_wait b ~target =
+  if target <= 0 then Some 0.0
+  else if b.num_completions >= target then Some (completion_time b target)
+  else None

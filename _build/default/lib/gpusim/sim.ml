@@ -1,0 +1,731 @@
+(** Discrete-event simulation of one CTA on one SM.
+
+    Each warp group is an interpreter over its instruction stream with
+    a local clock. Asynchronous units (the TMA engine, the tensor-core
+    pipe, cp.async rings) compute completion times at issue; waiters
+    either time-warp forward to an already-determined completion or
+    block until another warp group materializes the event. If every
+    live warp group is blocked, the protocol has deadlocked and the
+    simulator reports it — this is how the D >= P feasibility boundary
+    of Fig. 11 manifests.
+
+    In functional mode tile payloads are real tensors, so the simulated
+    execution is checked for bit-identical agreement with the reference
+    interpreter; in timing mode payload math is skipped (control flow
+    never depends on tile data in this IR). *)
+
+open Tawa_tensor
+open Tawa_ir
+open Tawa_machine
+
+exception Sim_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Sim_error s)) fmt
+
+type rt =
+  | Rint of int
+  | Rfloat of float
+  | Rbool of bool
+  | Rtensor of Tensor.t
+  | Rdesc of desc
+  | Rnone
+
+and desc = { buffer : Tensor.t option; ddtype : Dtype.t }
+
+type blocked =
+  | On_mbar of { bar : int; target : int }
+  | On_ring of { ring : int; target : int }
+  | On_fence
+
+type wg_state = Running | Blocked of blocked | Finished
+
+type wg = {
+  index : int;
+  stream : Isa.stream;
+  mutable pc : int;
+  mutable time : float;
+  mutable regs : rt array;
+  mutable state : wg_state;
+  mutable wgmma_open : float; (* completion of the latest uncommitted wgmma *)
+  mutable wgmma_groups : float Queue.t; (* committed, not yet waited *)
+  mutable pop_round : int;
+  mutable wg_pid : int array option;
+      (* persistent kernels: this WG's current work item. Each WG pops
+         the same memoized sequence, but at its own pace — a shared pid
+         would let a fast producer clobber the tile the consumer is
+         still working on. *)
+  mutable busy : float; (* non-stalled cycles, for utilization stats *)
+  mutable instret : int;
+}
+
+type stats = {
+  mutable tc_busy : float;
+  mutable tma_busy : float;
+  mutable tma_bytes : float;
+  mutable wgmma_count : int;
+  mutable tma_count : int;
+  mutable steps : int;
+}
+
+type cta = {
+  cfg : Config.t;
+  program : Isa.program;
+  params : rt array;
+  mutable pid : int array;
+  num_programs : int array;
+  wgs : wg array;
+  mbars : Mbarrier.t array;
+  rings : Mbarrier.t array;
+  smem : (int * int, Tensor.t) Hashtbl.t;
+  mutable tma_free : float;
+  mutable tc_free : float;
+  mutable fence_waiters : int list;
+  mutable popped : int array; (* memoized queue pops, grown on demand *)
+  mutable popped_len : int;
+  pop_global : unit -> int;
+  stats : stats;
+  mutable events : (string * float * float * string) list;
+      (* (unit, start, end, label) busy intervals when collect_trace *)
+}
+
+let create ~(cfg : Config.t) ~(program : Isa.program) ~(params : rt list)
+    ~(num_programs : int array) ~(pop_global : unit -> int) =
+  if List.length params <> List.length program.Isa.param_tys then
+    err "sim: parameter arity mismatch (%d vs %d)" (List.length params)
+      (List.length program.Isa.param_tys);
+  let params = Array.of_list params in
+  let wgs =
+    Array.of_list
+      (List.mapi
+         (fun i (s : Isa.stream) ->
+           let regs = Array.make 64 (Rint 0) in
+           Array.blit (Array.map Fun.id params) 0 regs 0
+             (min (Array.length params) 64);
+           {
+             index = i;
+             stream = s;
+             pc = 0;
+             time = 0.0;
+             regs;
+             state = Running;
+             wgmma_open = -1.0;
+             wgmma_groups = Queue.create ();
+             pop_round = 0;
+             wg_pid = None;
+             busy = 0.0;
+             instret = 0;
+           })
+         program.Isa.streams)
+  in
+  {
+    cfg;
+    program;
+    params;
+    pid = [| 0; 0; 0 |];
+    num_programs;
+    wgs;
+    mbars =
+      Array.init program.Isa.num_mbarriers (fun i ->
+          Mbarrier.create ~arrive_count:program.Isa.mbar_arrive_counts.(i));
+    rings = Array.init (max 1 program.Isa.num_rings) (fun _ -> Mbarrier.create ~arrive_count:1);
+    smem = Hashtbl.create 64;
+    tma_free = 0.0;
+    tc_free = 0.0;
+    fence_waiters = [];
+    popped = Array.make 16 (-2);
+    popped_len = 0;
+    pop_global;
+    stats = { tc_busy = 0.0; tma_busy = 0.0; tma_bytes = 0.0; wgmma_count = 0;
+              tma_count = 0; steps = 0 };
+    events = [];
+  }
+
+(* ------------------------- register file -------------------------- *)
+
+let reg_read wg r = if r < Array.length wg.regs then wg.regs.(r) else Rint 0
+
+let reg_write wg r v =
+  if r >= Array.length wg.regs then begin
+    let bigger = Array.make (max (2 * Array.length wg.regs) (r + 1)) (Rint 0) in
+    Array.blit wg.regs 0 bigger 0 (Array.length wg.regs);
+    wg.regs <- bigger
+  end;
+  wg.regs.(r) <- v
+
+let value_of wg (o : Isa.operand) =
+  match o with
+  | Isa.Reg r -> reg_read wg r
+  | Isa.Imm i -> Rint i
+  | Isa.Fimm f -> Rfloat f
+
+let as_int wg o =
+  match value_of wg o with
+  | Rint i -> i
+  | Rbool b -> if b then 1 else 0
+  | Rfloat f -> int_of_float f
+  | _ -> err "sim: expected integer operand"
+
+let as_float wg o =
+  match value_of wg o with
+  | Rfloat f -> f
+  | Rint i -> Float.of_int i
+  | Rbool b -> if b then 1.0 else 0.0
+  | _ -> err "sim: expected float operand"
+
+let as_bool wg o =
+  match value_of wg o with
+  | Rbool b -> b
+  | Rint i -> i <> 0
+  | Rfloat f -> f <> 0.0
+  | _ -> err "sim: expected predicate operand"
+
+let as_tensor wg o =
+  match value_of wg o with
+  | Rtensor t -> t
+  | _ -> err "sim: expected tensor operand"
+
+let as_desc wg o =
+  match value_of wg o with
+  | Rdesc d -> d
+  | _ -> err "sim: expected descriptor operand"
+
+(* --------------------------- SMEM --------------------------------- *)
+
+let smem_key cta (s : Isa.smem_slot) wg = (s.Isa.alloc, as_int wg s.Isa.slot)
+
+let smem_read cta wg (v : Isa.smem_view) =
+  let key = smem_key cta v.Isa.src wg in
+  match Hashtbl.find_opt cta.smem key with
+  | None -> err "sim: read of unwritten SMEM slot (alloc %d slot %d)" (fst key) (snd key)
+  | Some t -> if v.Isa.transposed then Tensor.transpose2 t else t
+
+let smem_write cta wg (s : Isa.smem_slot) t = Hashtbl.replace cta.smem (smem_key cta s wg) t
+
+(* --------------------------- helpers ------------------------------ *)
+
+let scalar_alu (op : Op.binop) a b =
+  match (a, b) with
+  | Rint x, Rint y ->
+    Rint
+      (match op with
+      | Op.Add -> x + y | Op.Sub -> x - y | Op.Mul -> x * y
+      | Op.Div -> if y = 0 then err "sim: div by zero" else x / y
+      | Op.Rem -> if y = 0 then err "sim: rem by zero" else x mod y
+      | Op.Min -> min x y | Op.Max -> max x y
+      | Op.And -> x land y | Op.Or -> x lor y | Op.Xor -> x lxor y)
+  | (Rfloat _ | Rint _), (Rfloat _ | Rint _) ->
+    let x = (match a with Rfloat f -> f | Rint i -> Float.of_int i | _ -> 0.0) in
+    let y = (match b with Rfloat f -> f | Rint i -> Float.of_int i | _ -> 0.0) in
+    Rfloat (Interp.float_binop op x y)
+  | _ -> err "sim: bad ALU operands"
+
+let scalar_cmp (op : Op.cmp) a b =
+  match (a, b) with
+  | Rint x, Rint y -> Rbool (Interp.cmp_pred op x y)
+  | _ ->
+    let x = (match a with Rfloat f -> f | Rint i -> Float.of_int i | Rbool b -> if b then 1. else 0. | _ -> err "cmp") in
+    let y = (match b with Rfloat f -> f | Rint i -> Float.of_int i | Rbool b -> if b then 1. else 0. | _ -> err "cmp") in
+    Rbool (Interp.cmp_pred op x y)
+
+let bytes_of ~rows ~cols dtype = rows * cols * Dtype.size_bytes dtype
+
+(* ------------------------- the step function ---------------------- *)
+
+(* Advance [wg]'s clock by [c] cycles of real work. *)
+let spend wg c =
+  wg.time <- wg.time +. c;
+  wg.busy <- wg.busy +. c
+
+let tile_cost (cfg : Config.t) coop ~elems ~per_cycle =
+  Float.of_int elems /. per_cycle /. Float.of_int coop
+
+let trace cta unit t0 t1 label =
+  if cta.cfg.Config.collect_trace && t1 > t0 then
+    cta.events <- (unit, t0, t1, label) :: cta.events
+
+let wg_unit wg = Printf.sprintf "WG%d(%s)" wg.index (Op.role_to_string wg.stream.Isa.role)
+
+(* Execute one instruction of [wg]; returns [false] if the WG blocked
+   without advancing (pc unchanged). *)
+let step cta wg =
+  let cfg = cta.cfg in
+  let functional = cfg.Config.functional in
+  let i = wg.stream.Isa.instrs.(wg.pc) in
+  let coop = wg.stream.Isa.coop in
+  cta.stats.steps <- cta.stats.steps + 1;
+  let advance () = wg.pc <- wg.pc + 1 in
+  let tile_default dst = if not functional then reg_write wg dst Rnone in
+  match i with
+  | Isa.Nop ->
+    spend wg 1.0;
+    advance ();
+    true
+  | Isa.Alu { op; dst; a; b } ->
+    reg_write wg dst (scalar_alu op (value_of wg a) (value_of wg b));
+    spend wg cfg.scalar_cycles;
+    advance ();
+    true
+  | Isa.Cmp { op; dst; a; b } ->
+    reg_write wg dst (scalar_cmp op (value_of wg a) (value_of wg b));
+    spend wg cfg.scalar_cycles;
+    advance ();
+    true
+  | Isa.Mov { dst; src } ->
+    reg_write wg dst (value_of wg src);
+    spend wg cfg.scalar_cycles;
+    advance ();
+    true
+  | Isa.Sel { dst; cond; a; b } ->
+    reg_write wg dst (if as_bool wg cond then value_of wg a else value_of wg b);
+    spend wg cfg.scalar_cycles;
+    advance ();
+    true
+  | Isa.Pid { dst; axis } ->
+    let pid = match wg.wg_pid with Some p -> p | None -> cta.pid in
+    reg_write wg dst (Rint pid.(axis));
+    spend wg cfg.scalar_cycles;
+    advance ();
+    true
+  | Isa.Npid { dst; axis } ->
+    reg_write wg dst (Rint cta.num_programs.(axis));
+    spend wg cfg.scalar_cycles;
+    advance ();
+    true
+  | Isa.Mkdesc { dst; ptr; dtype; _ } ->
+    let buffer =
+      match value_of wg ptr with
+      | Rtensor t -> Some t
+      | Rnone -> None
+      | _ -> err "sim: descriptor pointer must bind a buffer (or Rnone in timing mode)"
+    in
+    reg_write wg dst (Rdesc { buffer; ddtype = dtype });
+    spend wg 20.0;
+    advance ();
+    true
+  | Isa.Tile_unop { op; dst; src; elems } ->
+    let per_cycle =
+      match op with
+      | Op.Exp | Op.Exp2 | Op.Log | Op.Log2 | Op.Sqrt | Op.Rsqrt ->
+        cfg.sfu_elems_per_cycle
+      | Op.Neg | Op.Abs | Op.Not -> cfg.cuda_elems_per_cycle
+    in
+    let c = tile_cost cfg coop ~elems ~per_cycle in
+    trace cta (wg_unit wg) wg.time (wg.time +. c) ("cuda " ^ Op.unop_to_string op);
+    spend wg c;
+    if functional then
+      reg_write wg dst (Rtensor (Tensor.map (Interp.float_unop op) (as_tensor wg src)))
+    else tile_default dst;
+    advance ();
+    true
+  | Isa.Tile_binop { op; dst; a; b; elems } ->
+    let c = tile_cost cfg coop ~elems ~per_cycle:cfg.cuda_elems_per_cycle in
+    trace cta (wg_unit wg) wg.time (wg.time +. c) ("cuda " ^ Op.binop_to_string op);
+    spend wg c;
+    if functional then
+      reg_write wg dst
+        (Rtensor (Tensor.map2 (Interp.float_binop op) (as_tensor wg a) (as_tensor wg b)))
+    else tile_default dst;
+    advance ();
+    true
+  | Isa.Tile_cmp { op; dst; a; b; elems } ->
+    spend wg (tile_cost cfg coop ~elems ~per_cycle:cfg.cuda_elems_per_cycle);
+    if functional then begin
+      let ta = as_tensor wg a and tb = as_tensor wg b in
+      let out = Tensor.create ~dtype:Dtype.I1 (Tensor.shape ta) in
+      for idx = 0 to Tensor.numel ta - 1 do
+        Tensor.set_flat out idx
+          (if Interp.cmp_pred op (Tensor.get_flat ta idx) (Tensor.get_flat tb idx) then 1.0
+           else 0.0)
+      done;
+      reg_write wg dst (Rtensor out)
+    end
+    else tile_default dst;
+    advance ();
+    true
+  | Isa.Tile_select { dst; cond; a; b; elems } ->
+    spend wg (tile_cost cfg coop ~elems ~per_cycle:cfg.cuda_elems_per_cycle);
+    if functional then begin
+      let tc = as_tensor wg cond and ta = as_tensor wg a and tb = as_tensor wg b in
+      let out = Tensor.create ~dtype:(Tensor.dtype ta) (Tensor.shape ta) in
+      for idx = 0 to Tensor.numel ta - 1 do
+        Tensor.set_flat out idx
+          (if Tensor.get_flat tc idx <> 0.0 then Tensor.get_flat ta idx
+           else Tensor.get_flat tb idx)
+      done;
+      reg_write wg dst (Rtensor out)
+    end
+    else tile_default dst;
+    advance ();
+    true
+  | Isa.Tile_cast { dst; src; dtype; elems } ->
+    spend wg (tile_cost cfg coop ~elems ~per_cycle:cfg.cuda_elems_per_cycle);
+    if functional then reg_write wg dst (Rtensor (Tensor.cast dtype (as_tensor wg src)))
+    else tile_default dst;
+    advance ();
+    true
+  | Isa.Tile_splat { dst; src; shape; dtype } ->
+    let elems = List.fold_left ( * ) 1 shape in
+    spend wg (tile_cost cfg coop ~elems ~per_cycle:cfg.cuda_elems_per_cycle);
+    if functional then begin
+      let t = Tensor.create ~dtype (Array.of_list shape) in
+      Tensor.fill t (as_float wg src);
+      reg_write wg dst (Rtensor t)
+    end
+    else tile_default dst;
+    advance ();
+    true
+  | Isa.Tile_iota { dst; n } ->
+    spend wg (tile_cost cfg coop ~elems:n ~per_cycle:cfg.cuda_elems_per_cycle);
+    if functional then
+      reg_write wg dst
+        (Rtensor (Tensor.init ~dtype:Dtype.I32 [| n |] (fun i -> Float.of_int i.(0))))
+    else tile_default dst;
+    advance ();
+    true
+  | Isa.Tile_bcast { dst; src; shape } ->
+    let elems = List.fold_left ( * ) 1 shape in
+    spend wg (tile_cost cfg coop ~elems ~per_cycle:cfg.cuda_elems_per_cycle);
+    if functional then
+      reg_write wg dst (Rtensor (Interp.broadcast_to (as_tensor wg src) shape))
+    else tile_default dst;
+    advance ();
+    true
+  | Isa.Tile_reshape { dst; src; shape } ->
+    spend wg cfg.scalar_cycles;
+    if functional then begin
+      let t = as_tensor wg src in
+      let out = Tensor.create ~dtype:(Tensor.dtype t) (Array.of_list shape) in
+      for idx = 0 to Tensor.numel t - 1 do
+        Tensor.set_flat out idx (Tensor.get_flat t idx)
+      done;
+      reg_write wg dst (Rtensor out)
+    end
+    else tile_default dst;
+    advance ();
+    true
+  | Isa.Tile_reduce { kind; axis; dst; src; elems } ->
+    let c = tile_cost cfg coop ~elems ~per_cycle:cfg.reduce_elems_per_cycle in
+    trace cta (wg_unit wg) wg.time (wg.time +. c) ("cuda reduce");
+    spend wg c;
+    if functional then
+      reg_write wg dst (Rtensor (Interp.reduce_tensor kind axis (as_tensor wg src)))
+    else tile_default dst;
+    advance ();
+    true
+  | Isa.Tile_trans { dst; src; elems } ->
+    spend wg (tile_cost cfg coop ~elems ~per_cycle:cfg.trans_elems_per_cycle);
+    if functional then reg_write wg dst (Rtensor (Tensor.transpose2 (as_tensor wg src)))
+    else tile_default dst;
+    advance ();
+    true
+  | Isa.Tma_load { desc; offs; dst; rows; cols; dtype; full } ->
+    spend wg cfg.tma_issue_cycles;
+    let bytes = Float.of_int (bytes_of ~rows ~cols dtype) in
+    let start = Float.max cta.tma_free wg.time in
+    let busy = bytes /. cfg.tma_bytes_per_cycle in
+    cta.tma_free <- start +. busy;
+    cta.stats.tma_busy <- cta.stats.tma_busy +. busy;
+    cta.stats.tma_bytes <- cta.stats.tma_bytes +. bytes;
+    cta.stats.tma_count <- cta.stats.tma_count + 1;
+    let completion = start +. busy +. cfg.tma_latency in
+    trace cta "TMA" start (start +. busy) "copy";
+    let bar = full.Isa.base + as_int wg full.Isa.index in
+    ignore (Mbarrier.arrive cta.mbars.(bar) ~time:completion);
+    (if functional then
+       let d = as_desc wg desc in
+       match d.buffer with
+       | Some buf ->
+         let r0 = as_int wg (List.nth offs 0) in
+         let c0 = if List.length offs > 1 then as_int wg (List.nth offs 1) else 0 in
+         let r0, c0 = if rows = 1 && List.length offs = 1 then (0, r0) else (r0, c0) in
+         smem_write cta wg dst (Tensor.slice2 ~dtype buf ~r0 ~c0 ~rows ~cols)
+       | None -> err "sim: functional TMA load without buffer");
+    advance ();
+    true
+  | Isa.Cp_async { ring; desc; offs; dst; rows; cols; dtype; last } ->
+    let bytes = bytes_of ~rows ~cols dtype in
+    let chunks = (bytes + cfg.cp_chunk_bytes - 1) / cfg.cp_chunk_bytes in
+    (* Address generation and issue occupy the warp group itself: the
+       cost Tawa offloads to the TMA unit. *)
+    spend wg (Float.of_int chunks *. cfg.cp_issue_cycles_per_chunk);
+    let start = Float.max cta.tma_free wg.time in
+    let busy = Float.of_int bytes /. cfg.cp_async_bytes_per_cycle in
+    cta.tma_free <- start +. busy;
+    cta.stats.tma_busy <- cta.stats.tma_busy +. busy;
+    cta.stats.tma_bytes <- cta.stats.tma_bytes +. Float.of_int bytes;
+    let completion = start +. busy +. cfg.tma_latency in
+    if last then ignore (Mbarrier.arrive cta.rings.(ring) ~time:completion);
+    (if functional then
+       let d = as_desc wg desc in
+       match d.buffer with
+       | Some buf ->
+         let r0 = as_int wg (List.nth offs 0) in
+         let c0 = if List.length offs > 1 then as_int wg (List.nth offs 1) else 0 in
+         smem_write cta wg dst (Tensor.slice2 ~dtype buf ~r0 ~c0 ~rows ~cols)
+       | None -> err "sim: functional cp.async without buffer");
+    advance ();
+    true
+  | Isa.Cp_wait_ring { ring; target } -> (
+    let tgt = as_int wg target in
+    match Mbarrier.try_wait cta.rings.(ring) ~target:tgt with
+    | Some t ->
+      wg.time <- Float.max wg.time t;
+      spend wg cfg.scalar_cycles;
+      advance ();
+      true
+    | None ->
+      wg.state <- Blocked (On_ring { ring; target = tgt });
+      false)
+  | Isa.Ldg { dst; desc; offs; rows; cols; dtype } ->
+    (* Naive synchronous global load: latency plus a low-efficiency
+       per-thread gather. *)
+    let bytes = Float.of_int (bytes_of ~rows ~cols dtype) in
+    spend wg (cfg.tma_latency +. (bytes /. 12.0));
+    if functional then begin
+      let d = as_desc wg desc in
+      match d.buffer with
+      | Some buf ->
+        let r0 = as_int wg (List.nth offs 0) in
+        let c0 = if List.length offs > 1 then as_int wg (List.nth offs 1) else 0 in
+        reg_write wg dst (Rtensor (Tensor.slice2 ~dtype buf ~r0 ~c0 ~rows ~cols))
+      | None -> err "sim: functional ldg without buffer"
+    end
+    else reg_write wg dst Rnone;
+    advance ();
+    true
+  | Isa.Lds { dst; src; shape; dtype } ->
+    let bytes = List.fold_left ( * ) 1 shape * Dtype.size_bytes dtype in
+    spend wg (Float.of_int bytes /. cfg.smem_bytes_per_cycle /. Float.of_int coop);
+    if functional then reg_write wg dst (Rtensor (smem_read cta wg src))
+    else reg_write wg dst Rnone;
+    advance ();
+    true
+  | Isa.Sts { src; dst; elems; dtype } ->
+    let bytes = elems * Dtype.size_bytes dtype in
+    spend wg (Float.of_int bytes /. cfg.smem_bytes_per_cycle /. Float.of_int coop);
+    if functional then smem_write cta wg dst (as_tensor wg src);
+    advance ();
+    true
+  | Isa.Stg { desc; offs; src; rows; cols } ->
+    let d = as_desc wg desc in
+    let bytes = Float.of_int (bytes_of ~rows ~cols d.ddtype) in
+    spend wg ((bytes /. cfg.stg_bytes_per_cycle /. Float.of_int coop) +. cfg.stg_latency);
+    (if functional then
+       match d.buffer with
+       | Some buf ->
+         let r0 = as_int wg (List.nth offs 0) in
+         let c0 = if List.length offs > 1 then as_int wg (List.nth offs 1) else 0 in
+         Tensor.blit2 ~dst:buf ~r0 ~c0 (Tensor.cast d.ddtype (as_tensor wg src))
+       | None -> err "sim: functional store without buffer");
+    advance ();
+    true
+  | Isa.Mbar_arrive { base; index } ->
+    spend wg cfg.mbar_cycles;
+    ignore (Mbarrier.arrive cta.mbars.(base + as_int wg index) ~time:wg.time);
+    advance ();
+    true
+  | Isa.Mbar_wait { bar; target } -> (
+    let b = bar.Isa.base + as_int wg bar.Isa.index in
+    let tgt = as_int wg target in
+    match Mbarrier.try_wait cta.mbars.(b) ~target:tgt with
+    | Some t ->
+      wg.time <- Float.max wg.time t;
+      spend wg cfg.mbar_cycles;
+      advance ();
+      true
+    | None ->
+      wg.state <- Blocked (On_mbar { bar = b; target = tgt });
+      false)
+  | Isa.Wgmma { a; b; acc; m; n; k; dtype } ->
+    spend wg cfg.wgmma_issue_cycles;
+    let flops = 2.0 *. Float.of_int m *. Float.of_int n *. Float.of_int k in
+    (* Register pressure from live in-flight fragments slows the MMA's
+       accumulator traffic (the P=3 droop of Fig. 11). *)
+    let pressure =
+      1.0
+      +. (cfg.wgmma_depth_penalty /. 1000.0)
+         *. Float.of_int (max 0 (Queue.length wg.wgmma_groups - 1))
+    in
+    let dur =
+      flops *. pressure /. (Config.tc_flops_per_cycle cfg dtype *. cfg.tc_efficiency)
+    in
+    let start = Float.max cta.tc_free wg.time in
+    cta.tc_free <- start +. dur;
+    trace cta "TensorCore" start (start +. dur) (Printf.sprintf "wgmma %dx%dx%d" m n k);
+    cta.stats.tc_busy <- cta.stats.tc_busy +. dur;
+    cta.stats.wgmma_count <- cta.stats.wgmma_count + 1;
+    wg.wgmma_open <- start +. dur;
+    if functional then begin
+      let read_src = function
+        | Isa.Wreg r -> (
+          match reg_read wg r with
+          | Rtensor t -> t
+          | _ -> err "sim: wgmma register operand is not a tile")
+        | Isa.Wsmem v -> smem_read cta wg v
+      in
+      let ta = read_src a and tb = read_src b in
+      let tacc =
+        match reg_read wg acc with
+        | Rtensor t -> t
+        | _ -> err "sim: wgmma accumulator is not a tile"
+      in
+      reg_write wg acc (Rtensor (Interp.dot_tiles ta tb tacc))
+    end;
+    advance ();
+    true
+  | Isa.Wgmma_commit ->
+    if wg.wgmma_open >= 0.0 then begin
+      Queue.push wg.wgmma_open wg.wgmma_groups;
+      wg.wgmma_open <- -1.0
+    end;
+    spend wg 1.0;
+    advance ();
+    true
+  | Isa.Wgmma_wait n ->
+    while Queue.length wg.wgmma_groups > n do
+      let t = Queue.pop wg.wgmma_groups in
+      wg.time <- Float.max wg.time t
+    done;
+    spend wg 1.0;
+    advance ();
+    true
+  | Isa.Fence ->
+    (* Arrive; release everyone when all live WGs have arrived. *)
+    wg.state <- Blocked On_fence;
+    cta.fence_waiters <- wg.index :: cta.fence_waiters;
+    let live =
+      Array.to_list cta.wgs |> List.filter (fun w -> w.state <> Finished) |> List.length
+    in
+    if List.length cta.fence_waiters >= live then begin
+      let tmax =
+        List.fold_left
+          (fun acc i -> Float.max acc cta.wgs.(i).time)
+          0.0 cta.fence_waiters
+      in
+      List.iter
+        (fun i ->
+          let w = cta.wgs.(i) in
+          w.time <- tmax +. cta.cfg.fence_cycles;
+          w.state <- Running;
+          w.pc <- w.pc + 1)
+        cta.fence_waiters;
+      cta.fence_waiters <- []
+    end;
+    true
+  | Isa.Sync_reset ->
+    Array.iteri
+      (fun i b ->
+        if
+          i >= Array.length cta.program.Isa.mbar_resettable
+          || cta.program.Isa.mbar_resettable.(i)
+        then Mbarrier.reset b)
+      cta.mbars;
+    Array.iter Mbarrier.reset cta.rings;
+    spend wg cfg.mbar_cycles;
+    advance ();
+    true
+  | Isa.Workq_pop { dst } ->
+    let round = wg.pop_round in
+    wg.pop_round <- round + 1;
+    if round >= cta.popped_len then begin
+      (* First WG of the CTA to reach this round pops the global queue. *)
+      if cta.popped_len >= Array.length cta.popped then begin
+        let bigger = Array.make (2 * Array.length cta.popped) (-2) in
+        Array.blit cta.popped 0 bigger 0 cta.popped_len;
+        cta.popped <- bigger
+      end;
+      cta.popped.(cta.popped_len) <- cta.pop_global ();
+      cta.popped_len <- cta.popped_len + 1
+    end;
+    let v = cta.popped.(round) in
+    (* Decode the linear index into the pid registers. *)
+    if v >= 0 then begin
+      let gx = cta.num_programs.(0) and gy = cta.num_programs.(1) in
+      let x = v mod gx and rest = v / gx in
+      let y = rest mod gy and z = rest / gy in
+      wg.wg_pid <- Some [| x; y; z |]
+    end;
+    reg_write wg dst (Rint v);
+    spend wg cfg.workq_pop_cycles;
+    advance ();
+    true
+  | Isa.Bra { target } ->
+    spend wg cfg.scalar_cycles;
+    wg.pc <- target;
+    true
+  | Isa.Brz { cond; target } ->
+    spend wg cfg.scalar_cycles;
+    if as_bool wg cond then wg.pc <- wg.pc + 1 else wg.pc <- target;
+    true
+  | Isa.Brnz { cond; target } ->
+    spend wg cfg.scalar_cycles;
+    if as_bool wg cond then wg.pc <- target else wg.pc <- wg.pc + 1;
+    true
+  | Isa.Exit ->
+    wg.state <- Finished;
+    true
+
+(* Try to unblock a waiting warp group. *)
+let try_unblock cta wg =
+  match wg.state with
+  | Blocked (On_mbar { bar; target }) -> (
+    match Mbarrier.try_wait cta.mbars.(bar) ~target with
+    | Some t ->
+      trace cta (wg_unit wg) wg.time (Float.max wg.time t) "stall(mbar)";
+      wg.time <- Float.max wg.time t +. cta.cfg.mbar_cycles;
+      wg.state <- Running;
+      wg.pc <- wg.pc + 1
+    | None -> ())
+  | Blocked (On_ring { ring; target }) -> (
+    match Mbarrier.try_wait cta.rings.(ring) ~target with
+    | Some t ->
+      wg.time <- Float.max wg.time t +. cta.cfg.scalar_cycles;
+      wg.state <- Running;
+      wg.pc <- wg.pc + 1
+    | None -> ())
+  | Blocked On_fence | Running | Finished -> ()
+
+type outcome = { cycles : float; stats : stats; instructions : int }
+
+(** Run the CTA to completion. [max_steps] bounds runaway programs. *)
+let run ?(max_steps = 50_000_000) (cta : cta) : outcome =
+  let steps = ref 0 in
+  let unfinished () = Array.exists (fun w -> w.state <> Finished) cta.wgs in
+  while unfinished () do
+    incr steps;
+    if !steps > max_steps then err "sim: step budget exhausted";
+    Array.iter (fun w -> try_unblock cta w) cta.wgs;
+    (* Pick the runnable WG with the smallest local clock. *)
+    let best = ref None in
+    Array.iter
+      (fun w ->
+        if w.state = Running then
+          match !best with
+          | Some b when (b : wg).time <= w.time -> ()
+          | _ -> best := Some w)
+      cta.wgs;
+    match !best with
+    | Some w ->
+      w.instret <- w.instret + 1;
+      ignore (step cta w)
+    | None ->
+      let blocked =
+        Array.to_list cta.wgs
+        |> List.filter (fun w -> w.state <> Finished)
+        |> List.map (fun w ->
+               Printf.sprintf "wg%d(%s)@pc%d: %s" w.index
+                 (Op.role_to_string w.stream.Isa.role)
+                 w.pc
+                 (match w.state with
+                 | Blocked (On_mbar { bar; target }) ->
+                   Printf.sprintf "mbar %d >= %d (have %d)" bar target
+                     (Mbarrier.completions cta.mbars.(bar))
+                 | Blocked (On_ring { ring; target }) ->
+                   Printf.sprintf "ring %d >= %d" ring target
+                 | Blocked On_fence -> "fence"
+                 | Running | Finished -> "?"))
+      in
+      err "sim: deadlock: %s" (String.concat "; " blocked)
+  done;
+  let cycles = Array.fold_left (fun acc w -> Float.max acc w.time) 0.0 cta.wgs in
+  { cycles; stats = cta.stats; instructions = Array.fold_left (fun a w -> a + w.instret) 0 cta.wgs }

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Dtype Kernel List Op Printf Tawa_tensor Types Value

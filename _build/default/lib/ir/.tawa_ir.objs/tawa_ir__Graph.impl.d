@@ -1,0 +1,1 @@
+lib/ir/graph.ml: Hashtbl List Op Option Value

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Dtype Float Format Kernel List Op Option Queue Tawa_tensor Tensor Types Value

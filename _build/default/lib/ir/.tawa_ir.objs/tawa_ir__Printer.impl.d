@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Format Kernel List Op Printf String Tawa_tensor Types Value

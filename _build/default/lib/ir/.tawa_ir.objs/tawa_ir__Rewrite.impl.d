@@ -1,0 +1,1 @@
+lib/ir/rewrite.ml: Graph Hashtbl Kernel List Op Value

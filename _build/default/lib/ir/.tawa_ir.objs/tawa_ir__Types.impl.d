@@ -1,0 +1,1 @@
+lib/ir/types.ml: Dtype Format List Printf String Tawa_tensor

@@ -1,0 +1,1 @@
+lib/ir/value.ml: Format Hashtbl Int Map Printf Set Types

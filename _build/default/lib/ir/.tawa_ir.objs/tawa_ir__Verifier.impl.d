@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Dtype Format Kernel List Op Tawa_tensor Types Value

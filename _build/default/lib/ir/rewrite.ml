@@ -1,0 +1,93 @@
+(** Generic rewriting utilities: dead-code elimination, constant
+    folding / canonicalization, and replace-all-uses-with. *)
+
+(** Replace every use of [from] with [to_] inside [region]. *)
+let replace_all_uses ~from ~to_ (region : Op.region) =
+  Op.substitute_uses (fun v -> if Value.equal v from then to_ else v) region
+
+(* A fixpoint DCE: repeatedly erase pure ops whose results are unused.
+   Runs within each block independently; region-nested uses are visible
+   through the global use-def graph. *)
+let dce_kernel (k : Kernel.t) =
+  let removed = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let g = Graph.build k.body in
+    let rec clean_block (b : Op.block) =
+      let keep =
+        List.filter
+          (fun (op : Op.op) ->
+            List.iter (fun (r : Op.region) -> List.iter clean_block r.Op.blocks) op.regions;
+            let dead = Graph.is_pure op && not (Graph.op_used g op) && op.results <> [] in
+            if dead then begin
+              incr removed;
+              changed := true
+            end;
+            not dead)
+          b.ops
+      in
+      b.ops <- keep
+    in
+    List.iter clean_block k.body.Op.blocks
+  done;
+  !removed
+
+(** Erase the ops in [to_remove] (by id) from every block under [k]. *)
+let erase_ops (k : Kernel.t) (to_remove : (int, unit) Hashtbl.t) =
+  let rec clean_block (b : Op.block) =
+    b.ops <-
+      List.filter
+        (fun (op : Op.op) ->
+          List.iter (fun (r : Op.region) -> List.iter clean_block r.Op.blocks) op.regions;
+          not (Hashtbl.mem to_remove op.oid))
+        b.ops
+  in
+  List.iter clean_block k.body.Op.blocks
+
+(* Local constant folding and algebraic identities on scalars. *)
+let fold_op (g : Graph.t) (op : Op.op) : (Value.t * Value.t) option =
+  let const_of v =
+    match Graph.def g v with
+    | Some { Op.opcode = Op.Const_int i; _ } -> Some (`Int i)
+    | Some { Op.opcode = Op.Const_float f; _ } -> Some (`Float f)
+    | _ -> None
+  in
+  match (op.opcode, op.operands, op.results) with
+  | Op.Binop Op.Add, [ x; y ], [ r ] -> (
+    match (const_of x, const_of y) with
+    | _, Some (`Int 0) -> Some (r, x)
+    | Some (`Int 0), _ -> Some (r, y)
+    | _ -> None)
+  | Op.Binop Op.Mul, [ x; y ], [ r ] -> (
+    match (const_of x, const_of y) with
+    | _, Some (`Int 1) -> Some (r, x)
+    | Some (`Int 1), _ -> Some (r, y)
+    | _ -> None)
+  | Op.Binop Op.Sub, [ x; y ], [ r ] -> (
+    match const_of y with Some (`Int 0) -> Some (r, x) | _ -> None)
+  | _ -> None
+
+(** Apply algebraic simplifications until fixpoint, then DCE. Returns
+    the number of ops eliminated. *)
+let canonicalize (k : Kernel.t) =
+  let folds = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let g = Graph.build k.body in
+    let folded = Hashtbl.create 16 in
+    Op.iter_region
+      (fun op ->
+        match fold_op g op with
+        | Some (from, to_) ->
+          replace_all_uses ~from ~to_ k.body;
+          Hashtbl.replace folded op.Op.oid ();
+          changed := true
+        | None -> ())
+      k.body;
+    (* Erase the folded ops so the fixpoint terminates. *)
+    folds := !folds + Hashtbl.length folded;
+    if Hashtbl.length folded > 0 then erase_ops k folded
+  done;
+  !folds + dce_kernel k

@@ -1,0 +1,97 @@
+(** Types of the tile IR.
+
+    The IR mirrors Triton-MLIR's type system at the granularity the Tawa
+    passes care about: scalars, global pointers, register tiles
+    ([TTensor]), shared-memory tiles ([TMemDesc]), TMA descriptors, aref
+    channels, and async tokens. *)
+
+open Tawa_tensor
+
+type ty =
+  | TScalar of Dtype.t
+  | TPtr of Dtype.t
+      (** Pointer into global memory, element type attached. *)
+  | TTensor of { shape : int list; dtype : Dtype.t }
+      (** A tile held in registers. *)
+  | TMemDesc of { shape : int list; dtype : Dtype.t }
+      (** A tile staged in shared memory (SMEM view). *)
+  | TTensorDesc of { dims : int; dtype : Dtype.t }
+      (** TMA descriptor for a [dims]-dimensional global tensor. *)
+  | TAref of { payload : ty list; depth : int }
+      (** Asynchronous reference: a [depth]-slot cyclic channel whose
+          slots carry a tuple of [payload] values (§III-B). *)
+  | TToken  (** Async completion token. *)
+
+let i32 = TScalar Dtype.I32
+let i1 = TScalar Dtype.I1
+let f32 = TScalar Dtype.F32
+let f16 = TScalar Dtype.F16
+let scalar d = TScalar d
+let ptr d = TPtr d
+let tensor shape dtype = TTensor { shape; dtype }
+let memdesc shape dtype = TMemDesc { shape; dtype }
+let tensor_desc dims dtype = TTensorDesc { dims; dtype }
+let aref payload depth = TAref { payload; depth }
+
+let rec to_string = function
+  | TScalar d -> Dtype.to_string d
+  | TPtr d -> Printf.sprintf "ptr<%s>" (Dtype.to_string d)
+  | TTensor { shape; dtype } ->
+    Printf.sprintf "tensor<%sx%s>"
+      (String.concat "x" (List.map string_of_int shape))
+      (Dtype.to_string dtype)
+  | TMemDesc { shape; dtype } ->
+    Printf.sprintf "memdesc<%sx%s>"
+      (String.concat "x" (List.map string_of_int shape))
+      (Dtype.to_string dtype)
+  | TTensorDesc { dims; dtype } ->
+    Printf.sprintf "tdesc<%dd,%s>" dims (Dtype.to_string dtype)
+  | TAref { payload; depth } ->
+    Printf.sprintf "aref<[%s],%d>" (String.concat ", " (List.map to_string payload)) depth
+  | TToken -> "token"
+
+let rec equal a b =
+  match (a, b) with
+  | TScalar x, TScalar y -> Dtype.equal x y
+  | TPtr x, TPtr y -> Dtype.equal x y
+  | TTensor x, TTensor y -> x.shape = y.shape && Dtype.equal x.dtype y.dtype
+  | TMemDesc x, TMemDesc y -> x.shape = y.shape && Dtype.equal x.dtype y.dtype
+  | TTensorDesc x, TTensorDesc y -> x.dims = y.dims && Dtype.equal x.dtype y.dtype
+  | TAref x, TAref y ->
+    x.depth = y.depth
+    && List.length x.payload = List.length y.payload
+    && List.for_all2 equal x.payload y.payload
+  | TToken, TToken -> true
+  | ( ( TScalar _ | TPtr _ | TTensor _ | TMemDesc _ | TTensorDesc _ | TAref _
+      | TToken ),
+      _ ) ->
+    false
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let is_tensor = function TTensor _ -> true | _ -> false
+let is_memdesc = function TMemDesc _ -> true | _ -> false
+let is_scalar = function TScalar _ -> true | _ -> false
+let is_aref = function TAref _ -> true | _ -> false
+
+let dtype_of = function
+  | TScalar d | TPtr d -> Some d
+  | TTensor { dtype; _ } | TMemDesc { dtype; _ } | TTensorDesc { dtype; _ } -> Some dtype
+  | TAref _ | TToken -> None
+
+let shape_of = function
+  | TTensor { shape; _ } | TMemDesc { shape; _ } -> Some shape
+  | TScalar _ | TPtr _ | TTensorDesc _ | TAref _ | TToken -> None
+
+(** Number of elements in a tile type; scalars count as 1. *)
+let numel = function
+  | TTensor { shape; _ } | TMemDesc { shape; _ } -> List.fold_left ( * ) 1 shape
+  | TScalar _ | TPtr _ | TTensorDesc _ -> 1
+  | TAref _ | TToken -> 0
+
+(** Byte size of one tile of this type (used by the SMEM allocator and
+    the mbarrier transaction counts). *)
+let size_bytes ty =
+  match dtype_of ty with
+  | Some d -> numel ty * Dtype.size_bytes d
+  | None -> 0

@@ -1,0 +1,42 @@
+(** SSA values. Each value is defined exactly once, either as an op
+    result or as a block parameter. *)
+
+type t = { id : int; ty : Types.ty; mutable hint : string }
+
+let counter = ref 0
+
+let fresh ?(hint = "") ty =
+  incr counter;
+  { id = !counter; ty; hint }
+
+let id v = v.id
+let ty v = v.ty
+let hint v = v.hint
+let set_hint v h = v.hint <- h
+
+let name v = if v.hint = "" then Printf.sprintf "%%%d" v.id else Printf.sprintf "%%%s_%d" v.hint v.id
+
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash v = v.id
+
+let pp fmt v = Format.pp_print_string fmt (name v)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

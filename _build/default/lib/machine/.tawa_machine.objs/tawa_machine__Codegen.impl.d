@@ -1,0 +1,1 @@
+lib/machine/codegen.ml: Array Dtype Float Format Graph Hashtbl Isa Kernel List Op Option Printf String Tawa_ir Tawa_tensor Types Value

@@ -1,0 +1,1 @@
+lib/machine/isa.ml: Array Dtype Format List Op Printf String Tawa_ir Tawa_tensor Types

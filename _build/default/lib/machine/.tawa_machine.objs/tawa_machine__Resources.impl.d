@@ -1,0 +1,1 @@
+lib/machine/resources.ml: Dtype Printf Tawa_tensor

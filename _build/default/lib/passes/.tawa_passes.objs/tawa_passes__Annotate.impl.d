@@ -1,0 +1,1 @@
+lib/passes/annotate.ml: Hashtbl List Op Option Tawa_ir Value

@@ -1,0 +1,1 @@
+lib/passes/manager.ml: Kernel List Logs Op Partition Pipeline_coarse Pipeline_fine Rewrite Tawa_ir Verifier

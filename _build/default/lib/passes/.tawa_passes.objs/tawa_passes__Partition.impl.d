@@ -1,0 +1,1 @@
+lib/passes/partition.ml: Annotate Format Graph Hashtbl Kernel List Op Option Tawa_ir Tawa_tensor Types Value

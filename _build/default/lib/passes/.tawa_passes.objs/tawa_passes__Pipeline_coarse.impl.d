@@ -1,0 +1,1 @@
+lib/passes/pipeline_coarse.ml: Format Kernel List Op Option Tawa_ir Types Value

@@ -1,0 +1,1 @@
+lib/passes/pipeline_fine.ml: Format Kernel List Op Partition Tawa_ir Types Value

@@ -1,0 +1,1 @@
+lib/passes/sw_pipeline.ml: Annotate Format Graph Hashtbl Kernel List Op Partition Tawa_ir Types Value

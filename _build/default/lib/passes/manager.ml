@@ -1,0 +1,88 @@
+(** The Tawa pass pipeline (§III-A): named passes with verification
+    between stages, plus the optimization toggles of §IV. *)
+
+open Tawa_ir
+
+type options = {
+  aref_depth : int;          (* D: slots per aref ring (§III-B) *)
+  mma_depth : int;           (* P: fine-grained MMA pipeline depth (§III-D.1) *)
+  num_consumer_wgs : int;    (* cooperative consumer warp groups (§IV-A) *)
+  persistent : bool;         (* persistent kernel transform (§IV-B) *)
+  use_coarse : bool;         (* coarse-grained T/C/U pipeline (§III-D.2) *)
+  verify_each : bool;        (* run the verifier after every pass *)
+}
+
+let default_options =
+  {
+    aref_depth = 2;
+    mma_depth = 2;
+    num_consumer_wgs = 1;
+    persistent = false;
+    use_coarse = false;
+    verify_each = true;
+  }
+
+type trace_entry = { pass : string; ops_after : int; applied : bool }
+
+type result = {
+  kernel : Kernel.t;
+  trace : trace_entry list;
+  warp_specialized : bool;
+  coarse : bool;
+}
+
+let log = Logs.Src.create "tawa.passes" ~doc:"Tawa pass pipeline"
+
+module Log = (val Logs.src_log log)
+
+(** Run the full Tawa flow on a frontend kernel. Transformation steps
+    that do not apply (e.g. the coarse pipeline on a plain GEMM) are
+    recorded as skipped rather than failing: the compiler degrades
+    gracefully to the unspecialized kernel, mirroring the paper's
+    "existing Triton pipeline proceeds unchanged" fallback. *)
+let compile ?(options = default_options) (kernel : Kernel.t) : result =
+  let trace = ref [] in
+  let record pass k applied =
+    trace := { pass; ops_after = Kernel.count_ops k; applied } :: !trace;
+    if options.verify_each && applied then Verifier.verify k;
+    k
+  in
+  let k = Kernel.clone kernel in
+  ignore (Rewrite.canonicalize k);
+  let k = record "canonicalize" k true in
+  let ws, k =
+    match
+      Partition.warp_specialize
+        ~config:
+          {
+            Partition.aref_depth = options.aref_depth;
+            num_consumer_wgs = options.num_consumer_wgs;
+          }
+        k
+    with
+    | k' -> (true, record "warp-specialize" k' true)
+    | exception Partition.Not_applicable reason ->
+      Log.debug (fun m -> m "warp specialization not applicable: %s" reason);
+      (false, record "warp-specialize" k false)
+  in
+  let coarse, k =
+    if ws && options.use_coarse then
+      match Pipeline_coarse.apply k with
+      | k' -> (true, record "coarse-pipeline" k' true)
+      | exception Pipeline_coarse.Not_applicable reason ->
+        Log.debug (fun m -> m "coarse pipeline not applicable: %s" reason);
+        (false, record "coarse-pipeline" k false)
+    else (false, record "coarse-pipeline" k false)
+  in
+  let k =
+    if ws && not coarse then
+      match Pipeline_fine.apply ~mma_depth:options.mma_depth k with
+      | k' -> record "fine-pipeline" k' true
+      | exception Pipeline_fine.Not_applicable reason ->
+        Log.debug (fun m -> m "fine pipeline not applicable: %s" reason);
+        record "fine-pipeline" k false
+    else record "fine-pipeline" k false
+  in
+  if options.persistent then Kernel.set_attr k "persistent" (Op.Attr_bool true);
+  Kernel.set_attr k "num_consumer_wgs" (Op.Attr_int options.num_consumer_wgs);
+  { kernel = k; trace = List.rev !trace; warp_specialized = ws; coarse }

@@ -1,0 +1,96 @@
+(** Coarse-grained CUDA/Tensor-core pipelining (§III-D.2, Algorithm 1).
+
+    The pass identifies the per-iteration stages of the consumer loop —
+    a first tensor-core phase [T] (e.g. QK^T), a CUDA-core transform [C]
+    (e.g. the online-softmax update), and an optional second tensor-core
+    phase [U] (e.g. PV) — and annotates the loop and its ops. Machine
+    code generation then emits the three-stage assembly line of
+    Algorithm 1: in steady state, [T_j] and [U_{j-1}] are issued
+    asynchronously and the CUDA-core stage [C_j] overlaps the in-flight
+    [U_{j-1}], with [DOTWAIT]s at the tensor-core boundaries and
+    MAYBEAREFGET/-CONSUMED wrappers emitted only for stages that
+    actually read cross-warp-group arefs. *)
+
+open Tawa_ir
+
+exception Not_applicable of string
+
+let na fmt = Format.kasprintf (fun s -> raise (Not_applicable s)) fmt
+
+let consumer_block (k : Kernel.t) =
+  match Kernel.find_warp_group k with
+  | None -> na "kernel is not warp-specialized"
+  | Some wg -> (
+    match List.rev wg.Op.regions with
+    | consumer :: _ -> Op.entry_block consumer
+    | [] -> na "warp_group has no regions")
+
+let find_main_loop (blk : Op.block) =
+  List.find_opt
+    (fun (op : Op.op) ->
+      op.Op.opcode = Op.For
+      && List.exists
+           (fun (o : Op.op) -> o.Op.opcode = Op.Aref_get)
+           (Op.entry_block (List.hd op.Op.regions)).Op.ops)
+    blk.Op.ops
+
+(** Stage classification of a consumer loop body (post-partitioning:
+    iteration statements are gone, so tiles are T/C/U and glue). *)
+let stages_of_loop (loop : Op.op) =
+  let ops = (Op.entry_block (List.hd loop.Op.regions)).Op.ops in
+  let dots =
+    List.filter (fun (op : Op.op) -> op.Op.opcode = Op.Dot) ops
+  in
+  match dots with
+  | [ t_op; u_op ] ->
+    (* U must consume a value derived from T's output. *)
+    let derived = Value.Tbl.create 32 in
+    List.iter (fun r -> Value.Tbl.replace derived r ()) t_op.Op.results;
+    List.iter
+      (fun (op : Op.op) ->
+        if op.Op.oid <> t_op.Op.oid
+           && List.exists (fun v -> Value.Tbl.mem derived v) op.Op.operands
+        then List.iter (fun r -> Value.Tbl.replace derived r ()) op.Op.results)
+      ops;
+    if List.exists (fun v -> Value.Tbl.mem derived v) u_op.Op.operands then
+      Some (t_op, Some u_op)
+    else None
+  | _ -> None
+
+(** [apply k] annotates the consumer loop of [k] (a clone) with the
+    coarse-pipeline schedule, or raises {!Not_applicable} if the loop
+    does not have the T/C/U shape. *)
+let apply (kernel : Kernel.t) : Kernel.t =
+  let k = Kernel.clone kernel in
+  let blk = consumer_block k in
+  let loop = match find_main_loop blk with Some l -> l | None -> na "no consumer loop" in
+  match stages_of_loop loop with
+  | None -> na "consumer loop does not have the T/C/U stage shape"
+  | Some (t_op, u_op) ->
+    let ops = (Op.entry_block (List.hd loop.Op.regions)).Op.ops in
+    Op.set_attr loop "coarse_pipeline" (Op.Attr_bool true);
+    Op.set_attr t_op "stage" (Op.Attr_string "T");
+    Option.iter (fun (u : Op.op) -> Op.set_attr u "stage" (Op.Attr_string "U")) u_op;
+    let u_oid = match u_op with Some u -> u.Op.oid | None -> -1 in
+    List.iter
+      (fun (op : Op.op) ->
+        let is_cuda_stage =
+          op.Op.oid <> t_op.Op.oid && op.Op.oid <> u_oid
+          &&
+          match op.Op.opcode with
+          | Op.Binop _ | Op.Unop _ | Op.Cmp _ | Op.Select | Op.Cast | Op.Reduce _
+          | Op.Broadcast | Op.Expand_dims _ | Op.Reshape | Op.Splat | Op.Iota
+          | Op.Local_load ->
+            Types.is_tensor (Value.ty (List.hd op.Op.results))
+          | _ -> false
+        in
+        if is_cuda_stage then Op.set_attr op "stage" (Op.Attr_string "C"))
+      ops;
+    (* Record which stages read cross-WG arefs so codegen emits the
+       MAYBEAREFGET/-CONSUMED wrappers only where needed. *)
+    let get_ops =
+      List.filter (fun (op : Op.op) -> op.Op.opcode = Op.Aref_get) ops
+    in
+    Op.set_attr loop "num_arefs" (Op.Attr_int (List.length get_ops));
+    Kernel.set_attr k "coarse_pipeline" (Op.Attr_bool true);
+    k

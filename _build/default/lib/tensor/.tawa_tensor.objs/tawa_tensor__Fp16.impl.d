@@ -1,0 +1,1 @@
+lib/tensor/fp16.ml: Float Int32

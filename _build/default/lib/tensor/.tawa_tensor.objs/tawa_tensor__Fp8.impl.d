@@ -1,0 +1,1 @@
+lib/tensor/fp8.ml: Array Float

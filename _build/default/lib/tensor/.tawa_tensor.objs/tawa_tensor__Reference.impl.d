@@ -1,0 +1,1 @@
+lib/tensor/reference.ml: Array Dtype Float List Option Tensor

@@ -1,0 +1,1 @@
+lib/tensor/tensor.ml: Array Dtype Float Format Fp16 Fp8 Int32 Int64 Option Printf String

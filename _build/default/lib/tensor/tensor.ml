@@ -1,0 +1,223 @@
+(** Dense row-major tensors.
+
+    Payloads are stored as OCaml [float]s, but every store quantizes
+    through the tensor's dtype codec so that a tensor only ever holds
+    values representable at its precision. This is how the functional
+    simulator reproduces FP16/FP8 tile arithmetic without bit-level
+    emulation of every intermediate. *)
+
+type t = {
+  dtype : Dtype.t;
+  shape : int array;
+  strides : int array;
+  data : float array;
+}
+
+let numel_of_shape shape = Array.fold_left ( * ) 1 shape
+
+let strides_of_shape shape =
+  let n = Array.length shape in
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * shape.(i + 1)
+  done;
+  strides
+
+let quantize dtype v =
+  match (dtype : Dtype.t) with
+  | F32 -> Int32.float_of_bits (Int32.bits_of_float v)
+  | F16 -> Fp16.round v
+  | F8E4M3 -> Fp8.round v
+  | I32 -> Float.of_int (int_of_float v)
+  | I1 -> if v <> 0.0 then 1.0 else 0.0
+
+let create ?(dtype = Dtype.F32) shape =
+  {
+    dtype;
+    shape = Array.copy shape;
+    strides = strides_of_shape shape;
+    data = Array.make (numel_of_shape shape) 0.0;
+  }
+
+let numel t = Array.length t.data
+let dtype t = t.dtype
+let shape t = Array.copy t.shape
+let dim t i = t.shape.(i)
+let rank t = Array.length t.shape
+
+let shape_equal a b = a.shape = b.shape
+
+let linear_index t idx =
+  let n = Array.length idx in
+  if n <> Array.length t.shape then
+    invalid_arg "Tensor.linear_index: rank mismatch";
+  let off = ref 0 in
+  for i = 0 to n - 1 do
+    let d = idx.(i) in
+    if d < 0 || d >= t.shape.(i) then
+      invalid_arg
+        (Printf.sprintf "Tensor.linear_index: index %d out of bounds for dim %d (size %d)"
+           d i t.shape.(i));
+    off := !off + (d * t.strides.(i))
+  done;
+  !off
+
+let get t idx = t.data.(linear_index t idx)
+let set t idx v = t.data.(linear_index t idx) <- quantize t.dtype v
+
+(* Flat accessors used by hot loops; [set_flat] still quantizes. *)
+let get_flat t i = t.data.(i)
+let set_flat t i v = t.data.(i) <- quantize t.dtype v
+
+let fill t v =
+  let v = quantize t.dtype v in
+  Array.fill t.data 0 (Array.length t.data) v
+
+let init ?(dtype = Dtype.F32) shape f =
+  let t = create ~dtype shape in
+  let n = Array.length shape in
+  let idx = Array.make n 0 in
+  let total = numel t in
+  for lin = 0 to total - 1 do
+    (* Decode [lin] into [idx]. *)
+    let r = ref lin in
+    for i = n - 1 downto 0 do
+      idx.(i) <- !r mod shape.(i);
+      r := !r / shape.(i)
+    done;
+    t.data.(lin) <- quantize dtype (f idx)
+  done;
+  t
+
+let copy t =
+  { t with shape = Array.copy t.shape; strides = Array.copy t.strides;
+           data = Array.copy t.data }
+
+let cast dtype t =
+  let out = create ~dtype t.shape in
+  for i = 0 to numel t - 1 do
+    out.data.(i) <- quantize dtype t.data.(i)
+  done;
+  out
+
+let map f t =
+  let out = create ~dtype:t.dtype t.shape in
+  for i = 0 to numel t - 1 do
+    out.data.(i) <- quantize t.dtype (f t.data.(i))
+  done;
+  out
+
+let map2 f a b =
+  if not (shape_equal a b) then invalid_arg "Tensor.map2: shape mismatch";
+  let out = create ~dtype:a.dtype a.shape in
+  for i = 0 to numel a - 1 do
+    out.data.(i) <- quantize a.dtype (f a.data.(i) b.data.(i))
+  done;
+  out
+
+let iteri f t =
+  let n = rank t in
+  let idx = Array.make n 0 in
+  for lin = 0 to numel t - 1 do
+    let r = ref lin in
+    for i = n - 1 downto 0 do
+      idx.(i) <- !r mod t.shape.(i);
+      r := !r / t.shape.(i)
+    done;
+    f idx t.data.(lin)
+  done
+
+(* 2-D convenience accessors for tile math. *)
+let get2 t i j = t.data.((i * t.strides.(0)) + j)
+let set2 t i j v = t.data.((i * t.strides.(0)) + j) <- quantize t.dtype v
+
+(** Copy a 2-D window [rows x cols] starting at (r0, c0) of [src] into a
+    fresh tensor of dtype [dtype]. Out-of-bounds elements read as 0.0
+    (TMA-style boundary fill). *)
+let slice2 ?dtype src ~r0 ~c0 ~rows ~cols =
+  let dtype = Option.value dtype ~default:src.dtype in
+  if rank src <> 2 then invalid_arg "Tensor.slice2: rank <> 2";
+  let out = create ~dtype [| rows; cols |] in
+  let sr = dim src 0 and sc = dim src 1 in
+  for i = 0 to rows - 1 do
+    let r = r0 + i in
+    if r >= 0 && r < sr then
+      for j = 0 to cols - 1 do
+        let c = c0 + j in
+        if c >= 0 && c < sc then set2 out i j (get2 src r c)
+      done
+  done;
+  out
+
+(** Write a 2-D tile back into [dst] at (r0, c0), clipping out-of-bounds
+    elements (TMA-style boundary clipping on store). *)
+let blit2 ~dst ~r0 ~c0 tile =
+  if rank dst <> 2 || rank tile <> 2 then invalid_arg "Tensor.blit2: rank <> 2";
+  let dr = dim dst 0 and dc = dim dst 1 in
+  for i = 0 to dim tile 0 - 1 do
+    let r = r0 + i in
+    if r >= 0 && r < dr then
+      for j = 0 to dim tile 1 - 1 do
+        let c = c0 + j in
+        if c >= 0 && c < dc then set2 dst r c (get2 tile i j)
+      done
+  done
+
+let transpose2 t =
+  if rank t <> 2 then invalid_arg "Tensor.transpose2: rank <> 2";
+  let rows = dim t 0 and cols = dim t 1 in
+  let out = create ~dtype:t.dtype [| cols; rows |] in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      set2 out j i (get2 t i j)
+    done
+  done;
+  out
+
+let max_abs_diff a b =
+  if not (shape_equal a b) then invalid_arg "Tensor.max_abs_diff: shape mismatch";
+  let m = ref 0.0 in
+  for i = 0 to numel a - 1 do
+    let d = Float.abs (a.data.(i) -. b.data.(i)) in
+    if d > !m then m := d
+  done;
+  !m
+
+(** Relative error metric robust to large magnitudes:
+    max |a-b| / (1 + max(|a|,|b|)). *)
+let max_rel_diff a b =
+  if not (shape_equal a b) then invalid_arg "Tensor.max_rel_diff: shape mismatch";
+  let m = ref 0.0 in
+  for i = 0 to numel a - 1 do
+    let x = a.data.(i) and y = b.data.(i) in
+    let d = Float.abs (x -. y) /. (1.0 +. Float.max (Float.abs x) (Float.abs y)) in
+    if d > !m then m := d
+  done;
+  !m
+
+let approx_equal ?(tol = 1e-6) a b =
+  shape_equal a b && max_rel_diff a b <= tol
+
+let equal a b =
+  shape_equal a b && a.dtype = b.dtype && a.data = b.data
+
+(* Deterministic pseudo-random generation for tests and benchmarks. *)
+let random ?(dtype = Dtype.F32) ?(lo = -1.0) ?(hi = 1.0) ~seed shape =
+  let state = ref (Int64.of_int (seed lxor 0x5deece66)) in
+  let next () =
+    (* SplitMix64 step. *)
+    state := Int64.add !state 0x9e3779b97f4a7c15L;
+    let z = !state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0
+  in
+  init ~dtype shape (fun _ -> lo +. ((hi -. lo) *. next ()))
+
+let pp fmt t =
+  Format.fprintf fmt "tensor<%s x %s>"
+    (String.concat "x" (Array.to_list (Array.map string_of_int t.shape)))
+    (Dtype.to_string t.dtype)
+
+let to_string t = Format.asprintf "%a" pp t

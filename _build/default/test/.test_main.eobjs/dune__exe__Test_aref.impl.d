@@ -1,0 +1,1 @@
+test/test_aref.ml: Alcotest Array Fun Gen List QCheck QCheck_alcotest Ring Schedule Semantics String Tawa_aref

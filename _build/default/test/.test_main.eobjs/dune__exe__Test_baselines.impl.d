@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Dtype Frameworks List Option Printf Tawa_baselines Tawa_core Tawa_gpusim Tawa_tensor Workloads

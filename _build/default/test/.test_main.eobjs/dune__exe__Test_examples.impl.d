@@ -1,0 +1,1 @@
+test/test_examples.ml: Alcotest Array Config Dtype Elaborate Filename Float Launch List Reference Sim Sys Tawa_core Tawa_frontend Tawa_gpusim Tawa_ir Tawa_tensor Tensor Verifier

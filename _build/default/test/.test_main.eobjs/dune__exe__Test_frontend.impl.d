@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Astring Dtype Elaborate Interp Kernel Lexer List Op Parser Printf QCheck QCheck_alcotest Reference Tawa_core Tawa_frontend Tawa_gpusim Tawa_ir Tawa_tensor Tensor

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Builder Config Dtype Interp Kernel Launch List Op Printf QCheck QCheck_alcotest Sim Tawa_core Tawa_gpusim Tawa_ir Tawa_tensor Tensor Types Value Verifier

@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Array Astring Config Dtype Float Isa Launch List Mbarrier Op Printf Sim Tawa_gpusim Tawa_ir Tawa_machine Tawa_tensor

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Dtype Float Fp16 Fp8 List Printf QCheck QCheck_alcotest Reference Tawa_tensor Tensor

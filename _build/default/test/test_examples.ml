@@ -1,0 +1,98 @@
+(* The .tw kernels shipped in examples/kernels/ must parse, verify,
+   compile through the full Tawa pipeline, and compute correct results
+   on the simulator — guarding everything `tawac` users would touch. *)
+
+open Tawa_tensor
+open Tawa_ir
+open Tawa_frontend
+open Tawa_gpusim
+
+let kernels_dir = "../examples/kernels"
+
+let load name =
+  match Elaborate.compile_file (Filename.concat kernels_dir name) with
+  | [ k ] -> k
+  | ks -> Alcotest.failf "%s: expected one kernel, got %d" name (List.length ks)
+
+let compile ?(coarse = false) kernel =
+  Tawa_core.Flow.compile
+    ~options:
+      { Tawa_core.Flow.aref_depth = 2; mma_depth = 2; num_consumer_wgs = 1;
+        persistent = false; use_coarse = coarse }
+    kernel
+
+let test_gemm_tw () =
+  let c = compile (load "gemm.tw") in
+  Alcotest.(check bool) "warp specialized" true c.Tawa_core.Flow.warp_specialized;
+  let m = 32 and n = 32 and kk = 24 in
+  let a = Tensor.random ~dtype:Dtype.F16 ~seed:1 [| m; kk |] in
+  let b = Tensor.random ~dtype:Dtype.F16 ~seed:2 [| kk; n |] in
+  let out = Tensor.create ~dtype:Dtype.F16 [| m; n |] in
+  ignore
+    (Launch.run_grid_functional ~cfg:Config.functional_test c.Tawa_core.Flow.program
+       ~params:
+         [ Sim.Rtensor a; Sim.Rtensor b; Sim.Rtensor out; Sim.Rint m; Sim.Rint n;
+           Sim.Rint kk ]
+       ~grid:(m / 16, n / 16, 1));
+  Alcotest.(check bool) "matches reference" true
+    (Tensor.max_rel_diff out (Reference.gemm ~out_dtype:Dtype.F16 a b) < 1e-3)
+
+let test_attention_tw () =
+  let c = compile ~coarse:true (load "attention.tw") in
+  Alcotest.(check bool) "coarse" true c.Tawa_core.Flow.coarse;
+  let l = 64 and d = 8 in
+  let q = Tensor.random ~dtype:Dtype.F16 ~seed:11 [| l; d |] in
+  let kt = Tensor.random ~dtype:Dtype.F16 ~seed:12 [| l; d |] in
+  let v = Tensor.random ~dtype:Dtype.F16 ~seed:13 [| l; d |] in
+  let o = Tensor.create ~dtype:Dtype.F16 [| l; d |] in
+  ignore
+    (Launch.run_grid_functional ~cfg:Config.functional_test c.Tawa_core.Flow.program
+       ~params:[ Sim.Rtensor q; Sim.Rtensor kt; Sim.Rtensor v; Sim.Rtensor o; Sim.Rint l ]
+       ~grid:(l / 16, 1, 1));
+  let want = Reference.attention ~out_dtype:Dtype.F16 ~q ~k:kt ~v () in
+  Alcotest.(check bool) "matches reference" true (Tensor.max_rel_diff o want < 2e-2)
+
+let test_gemm_bias_relu_tw () =
+  let c = compile (load "gemm_bias_relu.tw") in
+  Alcotest.(check bool) "warp specialized" true c.Tawa_core.Flow.warp_specialized;
+  let m = 16 and n = 16 and kk = 16 in
+  let a = Tensor.random ~dtype:Dtype.F16 ~seed:7 [| m; kk |] in
+  let b = Tensor.random ~dtype:Dtype.F16 ~seed:8 [| kk; n |] in
+  let bias = Tensor.random ~seed:9 [| 1; n |] in
+  let out = Tensor.create ~dtype:Dtype.F16 [| m; n |] in
+  ignore
+    (Launch.run_grid_functional ~cfg:Config.functional_test c.Tawa_core.Flow.program
+       ~params:
+         [ Sim.Rtensor a; Sim.Rtensor b; Sim.Rtensor bias; Sim.Rtensor out; Sim.Rint m;
+           Sim.Rint n; Sim.Rint kk ]
+       ~grid:(1, 1, 1));
+  let base = Reference.gemm ~out_dtype:Dtype.F32 a b in
+  let want = Tensor.create ~dtype:Dtype.F16 [| m; n |] in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      Tensor.set2 want i j (Float.max 0.0 (Tensor.get2 base i j +. Tensor.get2 bias 0 j))
+    done
+  done;
+  Alcotest.(check bool) "bias+relu matches" true (Tensor.max_rel_diff out want < 1e-3)
+
+let test_all_tw_files_found () =
+  let files = Sys.readdir kernels_dir in
+  let tw = Array.to_list files |> List.filter (fun f -> Filename.check_suffix f ".tw") in
+  Alcotest.(check bool) "at least three shipped kernels" true (List.length tw >= 3);
+  (* Every shipped .tw file must at minimum parse and verify. *)
+  List.iter
+    (fun f ->
+      let ks = Elaborate.compile_file (Filename.concat kernels_dir f) in
+      List.iter Verifier.verify ks)
+    tw
+
+let suites =
+  [
+    ( "examples.kernels",
+      [
+        Alcotest.test_case "gemm.tw end-to-end" `Quick test_gemm_tw;
+        Alcotest.test_case "attention.tw end-to-end" `Quick test_attention_tw;
+        Alcotest.test_case "gemm_bias_relu.tw end-to-end" `Quick test_gemm_bias_relu_tw;
+        Alcotest.test_case "all .tw files verify" `Quick test_all_tw_files_found;
+      ] );
+  ]

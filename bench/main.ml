@@ -1,24 +1,45 @@
 (* Benchmark harness: regenerates every table/figure of the paper's
    evaluation (§V) on the simulated H100.
 
-     dune exec bench/main.exe            -- everything
-     dune exec bench/main.exe -- fig8    -- one figure
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- fig8         -- one figure
+     dune exec bench/main.exe -- fig8 fig10   -- a subset
      (figures: fig8 fig9 fig10 fig11 fig12 extra micro)
 
-   Absolute TFLOPS come from the calibrated cost model; the claims
-   checked in EXPERIMENTS.md are the paper's *shapes*: orderings,
-   speedup factors, crossovers, feasibility holes. *)
+   Flags:
+     --json [PATH]   also write a machine-readable trajectory record
+                     (default PATH: BENCH_PR1.json). Each selected
+                     figure is timed twice: a sequential baseline
+                     (1 domain, compile cache disabled — the seed
+                     engine) and the parallel engine (domain pool +
+                     compile cache), so the JSON records the speedup.
+     --domains N     override the worker-domain count (default:
+                     TAWA_DOMAINS or Domain.recommended_domain_count)
+     --seq           shorthand for --domains 1
+
+   Sweep points (frameworks x shapes) run on the domain pool; each
+   point's own simulation is single-threaded, so results are identical
+   for any domain count. Absolute TFLOPS come from the calibrated cost
+   model; the claims checked in EXPERIMENTS.md are the paper's
+   *shapes*: orderings, speedup factors, crossovers, feasibility
+   holes. *)
 
 open Tawa_tensor
 open Tawa_frontend
 open Tawa_core
 open Tawa_baselines
 open Tawa_gpusim
+module Pool = Tawa_pool.Pool
+module Json = Report.Json
 
 let cfg = Config.h100
 
-let section title =
-  Printf.printf "\n=== %s ===\n%!" title
+(* All table output funnels through [pr] so the sequential-baseline
+   timing pass of --json mode can run the figures silently. *)
+let quiet = ref false
+let pr fmt = Printf.ksprintf (fun s -> if not !quiet then (print_string s; flush stdout)) fmt
+
+let section title = pr "\n=== %s ===\n" title
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 8: GEMM, M = N = 8192, K sweep, FP16 and FP8                   *)
@@ -26,48 +47,65 @@ let section title =
 
 let fig8_precision dtype =
   let fws = Frameworks.all_gemm in
-  let rows = ref [] in
+  (* One pool task per K: each sweeps all frameworks (the autotuner
+     inside the Tawa point is the expensive part). *)
+  let data =
+    Pool.map_list
+      (fun k ->
+        let shape = Workloads.paper_gemm ~dtype k in
+        ( k,
+          List.map
+            (fun fw ->
+              match Frameworks.gemm ~cfg fw shape with
+              | Some t -> (fw, t.Launch.tflops)
+              | None -> (fw, 0.0))
+            fws ))
+      Workloads.paper_gemm_ks
+  in
   let ratios = Hashtbl.create 8 in
   List.iter
-    (fun k ->
-      let shape = Workloads.paper_gemm ~dtype k in
-      let results =
-        List.map
-          (fun fw ->
-            match Frameworks.gemm ~cfg fw shape with
-            | Some t -> (fw, t.Launch.tflops)
-            | None -> (fw, 0.0))
-          fws
-      in
+    (fun (_, results) ->
       let tawa = List.assoc Frameworks.Tawa results in
       List.iter
         (fun (fw, v) ->
-          if fw <> Frameworks.Tawa && v > 0.0 then begin
-            let prev = Option.value (Hashtbl.find_opt ratios fw) ~default:[] in
-            Hashtbl.replace ratios fw ((tawa /. v) :: prev)
-          end)
-        results;
-      rows :=
-        (string_of_int k :: List.map (fun (_, v) -> Report.f1 v) results) :: !rows)
-    Workloads.paper_gemm_ks;
-  print_string
+          if fw <> Frameworks.Tawa && v > 0.0 then
+            Hashtbl.replace ratios fw
+              ((tawa /. v) :: Option.value (Hashtbl.find_opt ratios fw) ~default:[]))
+        results)
+    data;
+  pr "%s"
     (Report.render
        ~header:("K" :: List.map Frameworks.name fws)
-       (List.rev !rows));
-  Printf.printf "Average Tawa speedup: %s\n"
+       (List.map
+          (fun (k, results) ->
+            string_of_int k :: List.map (fun (_, v) -> Report.f1 v) results)
+          data));
+  let avgs =
+    List.filter_map
+      (fun fw -> Option.map (fun rs -> (fw, Report.geomean rs)) (Hashtbl.find_opt ratios fw))
+      fws
+  in
+  pr "Average Tawa speedup: %s\n"
     (String.concat ", "
-       (List.filter_map
-          (fun fw ->
-            Option.map
-              (fun rs -> Printf.sprintf "%s %.2fx" (Frameworks.name fw) (Report.geomean rs))
-              (Hashtbl.find_opt ratios fw))
-          fws))
+       (List.map (fun (fw, g) -> Printf.sprintf "%s %.2fx" (Frameworks.name fw) g) avgs));
+  Json.Obj
+    [ ( "tflops_rows",
+        Json.List
+          (List.map
+             (fun (k, results) ->
+               Json.Obj
+                 (("K", Json.Int k)
+                 :: List.map (fun (fw, v) -> (Frameworks.name fw, Json.Float v)) results))
+             data) );
+      ( "avg_tawa_speedup",
+        Json.Obj (List.map (fun (fw, g) -> (Frameworks.name fw, Json.Float g)) avgs) ) ]
 
 let fig8 () =
   section "Fig. 8a: FP16 GEMM (TFLOPS), M=N=8192";
-  fig8_precision Dtype.F16;
+  let a = fig8_precision Dtype.F16 in
   section "Fig. 8b: FP8 GEMM (TFLOPS), M=N=8192";
-  fig8_precision Dtype.F8E4M3
+  let b = fig8_precision Dtype.F8E4M3 in
+  Json.Obj [ ("fp16", a); ("fp8", b) ]
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 9: batched and grouped GEMM, Tawa vs Triton                    *)
@@ -144,27 +182,49 @@ let fig9 () =
     [ (1024, 1024, 1024); (2048, 2048, 1024); (2048, 2048, 4096); (4096, 4096, 2048);
       (4096, 4096, 8192) ]
   in
-  let rows =
-    List.map
+  let batched =
+    Pool.map_list
       (fun (m, n, k) ->
         let s = { Workloads.m; n; k; dtype = Dtype.F16 } in
         let tawa = (batched_timing ~ws:true ~batch:8 s).Launch.tflops in
         let triton = (batched_timing ~ws:false ~batch:8 s).Launch.tflops in
-        [ Printf.sprintf "%dx%dx%d" m n k; Report.f1 triton; Report.f1 tawa;
-          Report.speedup ~over:triton tawa ])
+        (Printf.sprintf "%dx%dx%d" m n k, triton, tawa))
       shapes
   in
-  print_string (Report.render ~header:[ "MxNxK"; "Triton"; "Tawa"; "speedup" ] rows);
+  pr "%s"
+    (Report.render
+       ~header:[ "MxNxK"; "Triton"; "Tawa"; "speedup" ]
+       (List.map
+          (fun (label, triton, tawa) ->
+            [ label; Report.f1 triton; Report.f1 tawa; Report.speedup ~over:triton tawa ])
+          batched));
   section "Fig. 9 (right): FP16 grouped GEMM, Tawa vs Triton";
-  let rows =
-    List.map
+  let grouped =
+    Pool.map_list
       (fun (label, group) ->
         let tawa = (grouped_timing ~ws:true group).Launch.tflops in
         let triton = (grouped_timing ~ws:false group).Launch.tflops in
-        [ label; Report.f1 triton; Report.f1 tawa; Report.speedup ~over:triton tawa ])
+        (label, triton, tawa))
       Workloads.paper_groups
   in
-  print_string (Report.render ~header:[ "group"; "Triton"; "Tawa"; "speedup" ] rows)
+  pr "%s"
+    (Report.render
+       ~header:[ "group"; "Triton"; "Tawa"; "speedup" ]
+       (List.map
+          (fun (label, triton, tawa) ->
+            [ label; Report.f1 triton; Report.f1 tawa; Report.speedup ~over:triton tawa ])
+          grouped));
+  let table rows =
+    Json.List
+      (List.map
+         (fun (label, triton, tawa) ->
+           Json.Obj
+             [ ("shape", Json.Str label); ("triton_tflops", Json.Float triton);
+               ("tawa_tflops", Json.Float tawa);
+               ("speedup", Json.Float (tawa /. triton)) ])
+         rows)
+  in
+  Json.Obj [ ("batched", table batched); ("grouped", table grouped) ]
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 10: multi-head attention                                       *)
@@ -172,38 +232,67 @@ let fig9 () =
 
 let fig10_case ~dtype ~causal =
   let fws = Frameworks.all_mha in
-  let rows =
-    List.map
+  let data =
+    Pool.map_list
       (fun len ->
         let shape = Workloads.paper_mha ~dtype ~causal len in
-        string_of_int len
-        :: List.map
-             (fun fw ->
-               match Frameworks.mha ~cfg fw shape with
-               | Some t -> Report.f1 t.Launch.tflops
-               | None -> "fail")
-             fws)
+        ( len,
+          List.map
+            (fun fw ->
+              (fw, Option.map (fun t -> t.Launch.tflops) (Frameworks.mha ~cfg fw shape)))
+            fws ))
       Workloads.paper_mha_lens
   in
-  print_string (Report.render ~header:("L" :: List.map Frameworks.name fws) rows);
+  pr "%s"
+    (Report.render
+       ~header:("L" :: List.map Frameworks.name fws)
+       (List.map
+          (fun (len, results) ->
+            string_of_int len
+            :: List.map
+                 (fun (_, r) -> match r with Some v -> Report.f1 v | None -> "fail")
+                 results)
+          data));
   (* Tawa-vs-FA3 and Tawa-vs-Triton summary at the longest sequence. *)
-  let shape = Workloads.paper_mha ~dtype ~causal 16384 in
-  let get fw = Option.map (fun t -> t.Launch.tflops) (Frameworks.mha ~cfg fw shape) in
-  (match (get Frameworks.Tawa, get Frameworks.Fa3, get Frameworks.Triton) with
-  | Some tw, Some fa, Some tr ->
-    Printf.printf "L=16384: Tawa/FA3 = %.0f%%, Tawa/Triton = %.2fx\n" (100.0 *. tw /. fa)
-      (tw /. tr)
-  | _ -> ())
+  let summary =
+    match List.assoc_opt 16384 data with
+    | None -> []
+    | Some results -> (
+      let get fw = Option.join (List.assoc_opt fw results) in
+      match (get Frameworks.Tawa, get Frameworks.Fa3, get Frameworks.Triton) with
+      | Some tw, Some fa, Some tr ->
+        pr "L=16384: Tawa/FA3 = %.0f%%, Tawa/Triton = %.2fx\n" (100.0 *. tw /. fa)
+          (tw /. tr);
+        [ ("tawa_over_fa3", Json.Float (tw /. fa));
+          ("tawa_over_triton", Json.Float (tw /. tr)) ]
+      | _ -> [])
+  in
+  Json.Obj
+    (( "tflops_rows",
+       Json.List
+         (List.map
+            (fun (len, results) ->
+              Json.Obj
+                (("L", Json.Int len)
+                :: List.map
+                     (fun (fw, r) ->
+                       ( Frameworks.name fw,
+                         match r with Some v -> Json.Float v | None -> Json.Null ))
+                     results))
+            data) )
+    :: summary)
 
 let fig10 () =
   section "Fig. 10a: FP16 MHA non-causal (TFLOPS), B=4, d=128";
-  fig10_case ~dtype:Dtype.F16 ~causal:false;
+  let a = fig10_case ~dtype:Dtype.F16 ~causal:false in
   section "Fig. 10b: FP16 MHA causal";
-  fig10_case ~dtype:Dtype.F16 ~causal:true;
+  let b = fig10_case ~dtype:Dtype.F16 ~causal:true in
   section "Fig. 10c: FP8 MHA non-causal";
-  fig10_case ~dtype:Dtype.F8E4M3 ~causal:false;
+  let c = fig10_case ~dtype:Dtype.F8E4M3 ~causal:false in
   section "Fig. 10d: FP8 MHA causal";
-  fig10_case ~dtype:Dtype.F8E4M3 ~causal:true
+  let d = fig10_case ~dtype:Dtype.F8E4M3 ~causal:true in
+  Json.Obj
+    [ ("fp16_noncausal", a); ("fp16_causal", b); ("fp8_noncausal", c); ("fp8_causal", d) ]
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 11: aref depth D x MMA depth P, persistent vs not              *)
@@ -226,13 +315,30 @@ let fig11_panel ~persistent =
              row)
       grid
   in
-  print_string (Report.render ~header:[ ""; "P=1"; "P=2"; "P=3" ] rows)
+  let json =
+    Json.List
+      (List.map
+         (fun row ->
+           Json.List
+             (List.map
+                (function
+                  | None -> Json.Null
+                  | Some (m : Autotune.measurement) -> Json.Float m.Autotune.tflops)
+                row))
+         grid)
+  in
+  (Report.render ~header:[ ""; "P=1"; "P=2"; "P=3" ] rows, json)
 
 let fig11 () =
+  (* The two panels are independent; the (D, P) points inside each are
+     measured by the autotuner. *)
+  let panels = Pool.run_all [| (fun () -> fig11_panel ~persistent:false);
+                               (fun () -> fig11_panel ~persistent:true) |] in
   section "Fig. 11 (left): non-persistent GEMM K=16384, TFLOPS over (D, P)";
-  fig11_panel ~persistent:false;
+  pr "%s" (fst panels.(0));
   section "Fig. 11 (right): persistent GEMM K=16384, TFLOPS over (D, P)";
-  fig11_panel ~persistent:true
+  pr "%s" (fst panels.(1));
+  Json.Obj [ ("non_persistent", snd panels.(0)); ("persistent", snd panels.(1)) ]
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 12: ablation                                                   *)
@@ -248,44 +354,53 @@ let fig12_gemm () =
       .Launch.tflops
   in
   let small = Frameworks.tiles_128x128 and large = Frameworks.tiles_128x256 in
-  let baseline = time (Flow.compile_naive (Kernels.gemm ~tiles:small ())) ~tiles:small in
-  let ws =
-    time
-      (Flow.compile
-         ~options:{ Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1;
-                    persistent = false; use_coarse = false }
-         (Kernels.gemm ~tiles:small ()))
-      ~tiles:small
+  (* The five ablation steps are independent measurements. *)
+  let steps =
+    Pool.run_all
+      [| (fun () -> time (Flow.compile_naive (Kernels.gemm ~tiles:small ())) ~tiles:small);
+         (fun () ->
+           time
+             (Flow.compile
+                ~options:{ Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1;
+                           persistent = false; use_coarse = false }
+                (Kernels.gemm ~tiles:small ()))
+             ~tiles:small);
+         (fun () ->
+           time
+             (Flow.compile
+                ~options:{ Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 2;
+                           persistent = false; use_coarse = false }
+                (Kernels.gemm ~tiles:large ()))
+             ~tiles:large);
+         (fun () ->
+           time
+             (Flow.compile
+                ~options:{ Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 2;
+                           persistent = true; use_coarse = false }
+                (Kernels.gemm ~tiles:large ()))
+             ~tiles:large);
+         (fun () -> (Autotune.tune_gemm ~cfg shape).Autotune.tflops) |]
   in
-  let large_tile =
-    time
-      (Flow.compile
-         ~options:{ Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 2;
-                    persistent = false; use_coarse = false }
-         (Kernels.gemm ~tiles:large ()))
-      ~tiles:large
-  in
-  let persistent =
-    time
-      (Flow.compile
-         ~options:{ Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 2;
-                    persistent = true; use_coarse = false }
-         (Kernels.gemm ~tiles:large ()))
-      ~tiles:large
-  in
-  let best =
-    let m = Autotune.tune_gemm ~cfg shape in
-    m.Autotune.tflops
+  let baseline = steps.(0) in
+  let labels =
+    [ "Triton w/o WS (naive)"; "+Auto WS"; "+Cooperative WGs, +Large Tile";
+      "+Persistent Kernel"; "+Better Aref Size (autotuned)" ]
   in
   let rows =
-    [ [ "Triton w/o WS (naive)"; Report.f1 baseline; "1.00x" ];
-      [ "+Auto WS"; Report.f1 ws; Report.speedup ~over:baseline ws ];
-      [ "+Cooperative WGs, +Large Tile"; Report.f1 large_tile;
-        Report.speedup ~over:baseline large_tile ];
-      [ "+Persistent Kernel"; Report.f1 persistent; Report.speedup ~over:baseline persistent ];
-      [ "+Better Aref Size (autotuned)"; Report.f1 best; Report.speedup ~over:baseline best ] ]
+    List.mapi
+      (fun i label ->
+        [ label; Report.f1 steps.(i);
+          (if i = 0 then "1.00x" else Report.speedup ~over:baseline steps.(i)) ])
+      labels
   in
-  print_string (Report.render ~header:[ "configuration"; "TFLOPS"; "vs baseline" ] rows)
+  pr "%s" (Report.render ~header:[ "configuration"; "TFLOPS"; "vs baseline" ] rows);
+  Json.List
+    (List.mapi
+       (fun i label ->
+         Json.Obj
+           [ ("configuration", Json.Str label); ("tflops", Json.Float steps.(i));
+             ("vs_baseline", Json.Float (steps.(i) /. baseline)) ])
+       labels)
 
 let fig12_mha () =
   section "Fig. 12 (right): MHA ablation, FP16, L=16384";
@@ -299,45 +414,59 @@ let fig12_mha () =
   let kernel d = Kernels.attention ~block_m:128 ~block_n:128 ~head_dim:128 ~dtype:d () in
   (* The ablation baseline is Triton without any pipelining: loads are
      synchronous TMA waits inside the loop. *)
-  let baseline = time (Flow.compile_sync_tma (kernel Dtype.F16)) in
-  let ws =
-    time
-      (Flow.compile
-         ~options:{ Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1;
-                    persistent = false; use_coarse = false }
-         (kernel Dtype.F16))
+  let steps =
+    Pool.run_all
+      [| (fun () -> time (Flow.compile_sync_tma (kernel Dtype.F16)));
+         (fun () ->
+           time
+             (Flow.compile
+                ~options:{ Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1;
+                           persistent = false; use_coarse = false }
+                (kernel Dtype.F16)));
+         (fun () ->
+           time
+             (Flow.compile
+                ~options:{ Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1;
+                           persistent = false; use_coarse = true }
+                (kernel Dtype.F16)));
+         (fun () ->
+           List.fold_left
+             (fun acc d ->
+               let t =
+                 time
+                   (Flow.compile
+                      ~options:{ Flow.aref_depth = d; mma_depth = 1; num_consumer_wgs = 1;
+                                 persistent = false; use_coarse = true }
+                      (kernel Dtype.F16))
+               in
+               Float.max acc t)
+             0.0 [ 2; 3; 4 ]) |]
   in
-  let coarse =
-    time
-      (Flow.compile
-         ~options:{ Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1;
-                    persistent = false; use_coarse = true }
-         (kernel Dtype.F16))
-  in
-  let best =
-    List.fold_left
-      (fun acc d ->
-        let t =
-          time
-            (Flow.compile
-               ~options:{ Flow.aref_depth = d; mma_depth = 1; num_consumer_wgs = 1;
-                          persistent = false; use_coarse = true }
-               (kernel Dtype.F16))
-        in
-        Float.max acc t)
-      0.0 [ 2; 3; 4 ]
+  let baseline = steps.(0) in
+  let labels =
+    [ "Triton w/o pipelining (sync TMA)"; "+Auto WS"; "+Coarse-grained pipeline";
+      "+Better Aref Size" ]
   in
   let rows =
-    [ [ "Triton w/o pipelining (sync TMA)"; Report.f1 baseline; "1.00x" ];
-      [ "+Auto WS"; Report.f1 ws; Report.speedup ~over:baseline ws ];
-      [ "+Coarse-grained pipeline"; Report.f1 coarse; Report.speedup ~over:baseline coarse ];
-      [ "+Better Aref Size"; Report.f1 best; Report.speedup ~over:baseline best ] ]
+    List.mapi
+      (fun i label ->
+        [ label; Report.f1 steps.(i);
+          (if i = 0 then "1.00x" else Report.speedup ~over:baseline steps.(i)) ])
+      labels
   in
-  print_string (Report.render ~header:[ "configuration"; "TFLOPS"; "vs baseline" ] rows)
+  pr "%s" (Report.render ~header:[ "configuration"; "TFLOPS"; "vs baseline" ] rows);
+  Json.List
+    (List.mapi
+       (fun i label ->
+         Json.Obj
+           [ ("configuration", Json.Str label); ("tflops", Json.Float steps.(i));
+             ("vs_baseline", Json.Float (steps.(i) /. baseline)) ])
+       labels)
 
 let fig12 () =
-  fig12_gemm ();
-  fig12_mha ()
+  let g = fig12_gemm () in
+  let m = fig12_mha () in
+  Json.Obj [ ("gemm", g); ("mha", m) ]
 
 (* ------------------------------------------------------------------ *)
 (* Extra: future-work features (§VI) exercised as ablations            *)
@@ -358,11 +487,11 @@ let extra () =
   | Tawa_aref.Schedule.Completed results ->
     List.iter
       (fun (name, got) ->
-        Printf.printf "  %s: consumed %d tiles (role alternating per iteration)\n" name
+        pr "  %s: consumed %d tiles (role alternating per iteration)\n" name
           (List.length got))
       results
-  | Tawa_aref.Schedule.Deadlock _ -> print_endline "  DEADLOCK (unexpected)"
-  | Tawa_aref.Schedule.Error e -> Printf.printf "  error: %s\n" e);
+  | Tawa_aref.Schedule.Deadlock _ -> pr "  DEADLOCK (unexpected)\n"
+  | Tawa_aref.Schedule.Error e -> pr "  error: %s\n" e);
   section "Extra: multicast aref (one producer, two consumer rings)";
   (* Modelled at the protocol level (see Tawa_aref.Ring.Multicast tests);
      here we report the SMEM saving of sharing one ring between two
@@ -370,12 +499,12 @@ let extra () =
   let tile_bytes = 128 * 64 * 2 in
   List.iter
     (fun d ->
-      Printf.printf "D=%d: dedicated rings %d KiB, multicast ring %d KiB (saves %d KiB)\n"
-        d
+      pr "D=%d: dedicated rings %d KiB, multicast ring %d KiB (saves %d KiB)\n" d
         (2 * d * tile_bytes / 1024)
         (d * tile_bytes / 1024)
         (d * tile_bytes / 1024))
-    [ 2; 3; 4 ]
+    [ 2; 3; 4 ];
+  Json.Null
 
 (* ------------------------------------------------------------------ *)
 (* Micro: compile-time cost of each Tawa pass (bechamel)               *)
@@ -424,29 +553,189 @@ let micro () =
       | Some [ est ] -> rows := (name, est) :: !rows
       | _ -> rows := (name, Float.nan) :: !rows)
     results;
-  List.iter
-    (fun (name, est) -> Printf.printf "  %-36s %12.1f ns/run\n" name (est))
-    (List.sort compare !rows)
+  let rows = List.sort compare !rows in
+  List.iter (fun (name, est) -> pr "  %-36s %12.1f ns/run\n" name est) rows;
+  Json.Obj (List.map (fun (name, est) -> (name, Json.Float est)) rows)
+
+(* ------------------------------------------------------------------ *)
+(* Functional-verification grid: parallel vs sequential, vs reference  *)
+(* ------------------------------------------------------------------ *)
+
+(* A grid-scale functional GEMM (4x4 CTAs of 128x128 tiles — far
+   beyond the 16x16-tile grids the unit tests could afford before the
+   domain pool). Checks (a) the parallel engine is bit-identical to
+   the sequential one, (b) the simulated output matches the reference
+   interpreter's tensors, and times both engines. *)
+let verify_grid () =
+  section "Functional verification: 4x4x1 CTA grid, FP16 GEMM 512x512x128";
+  let m = 512 and n = 512 and kk = 128 in
+  let kernel = Kernels.gemm ~tiles ~dtype:Dtype.F16 () in
+  let compiled = Flow.compile kernel in
+  let grid = (m / tiles.Kernels.block_m, n / tiles.Kernels.block_n, 1) in
+  let run ~domains =
+    let a = Tensor.random ~dtype:Dtype.F16 ~seed:11 [| m; kk |] in
+    let b = Tensor.random ~dtype:Dtype.F16 ~seed:12 [| kk; n |] in
+    let c = Tensor.create ~dtype:Dtype.F16 [| m; n |] in
+    Pool.set_default_domains (Some domains);
+    let t0 = Unix.gettimeofday () in
+    let cycles =
+      Launch.run_grid_functional ~cfg:Config.functional_test compiled.Flow.program
+        ~params:
+          [ Sim.Rtensor a; Sim.Rtensor b; Sim.Rtensor c; Sim.Rint m; Sim.Rint n;
+            Sim.Rint kk ]
+        ~grid
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    (a, b, c, cycles, dt)
+  in
+  let domains = Pool.default_domains () in
+  let _, _, c_seq, cycles_seq, t_seq = run ~domains:1 in
+  let a, b, c_par, cycles_par, t_par = run ~domains in
+  Pool.set_default_domains None;
+  let bit_identical = Tensor.equal c_seq c_par && cycles_seq = cycles_par in
+  let reference = Reference.gemm ~out_dtype:Dtype.F16 a b in
+  let rel = Tensor.max_rel_diff c_par reference in
+  let pass = bit_identical && rel <= 1e-2 in
+  pr "  sequential: %.2fs   parallel (%d domains): %.2fs   speedup %.2fx\n" t_seq domains
+    t_par (t_seq /. t_par);
+  pr "  bit-identical par-vs-seq: %b   max rel diff vs reference: %.2e   pass: %b\n"
+    bit_identical rel pass;
+  Json.Obj
+    [ ("workload", Json.Str "gemm fp16 512x512x128, 4x4x1 grid, 128x128 tiles");
+      ("domains", Json.Int domains);
+      ("sequential_seconds", Json.Float t_seq); ("parallel_seconds", Json.Float t_par);
+      ("speedup", Json.Float (t_seq /. t_par));
+      ("bit_identical", Json.Bool bit_identical);
+      ("max_rel_diff_vs_reference", Json.Float rel); ("pass", Json.Bool pass) ]
 
 (* ------------------------------------------------------------------ *)
 
+let all_figures =
+  [ ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
+    ("fig12", fig12); ("extra", extra); ("micro", micro) ]
+
+(* In --json mode every figure runs twice: once as the seed engine
+   (1 domain, compile cache off, silent) for the baseline wall-clock,
+   then on the parallel engine for the reported tables. *)
+type fig_result = {
+  r_name : string;
+  r_seq : float;
+  r_par : float;
+  r_cache : Tawa_machine.Progcache.stats;
+  r_data : Json.t;
+}
+
+let no_stats = { Tawa_machine.Progcache.hits = 0; misses = 0 }
+
+let run_figure ~json (name, f) =
+  if not json then begin
+    ignore (f ());
+    { r_name = name; r_seq = 0.0; r_par = 0.0; r_cache = no_stats; r_data = Json.Null }
+  end
+  else begin
+    Flow.clear_cache ();
+    Tawa_machine.Progcache.set_enabled false;
+    Pool.set_default_domains (Some 1);
+    quiet := true;
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    let seq = Unix.gettimeofday () -. t0 in
+    quiet := false;
+    Flow.clear_cache ();
+    Tawa_machine.Progcache.set_enabled true;
+    Pool.set_default_domains None;
+    let t1 = Unix.gettimeofday () in
+    let data = f () in
+    let par = Unix.gettimeofday () -. t1 in
+    { r_name = name; r_seq = seq; r_par = par; r_cache = Flow.cache_stats ();
+      r_data = data }
+  end
+
 let () =
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = ref None and names = ref [] and domains = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest -> (
+      json := Some "BENCH_PR1.json";
+      match rest with
+      | path :: rest' when String.length path > 0 && path.[0] <> '-' && not (List.mem_assoc path all_figures) ->
+        json := Some path;
+        parse rest'
+      | _ -> parse rest)
+    | "--domains" :: n :: rest ->
+      domains := int_of_string_opt n;
+      parse rest
+    | "--seq" :: rest ->
+      domains := Some 1;
+      parse rest
+    | "all" :: rest -> parse rest
+    | name :: rest ->
+      if List.mem_assoc name all_figures then names := name :: !names
+      else Printf.eprintf "unknown figure or flag %S (ignored)\n" name;
+      parse rest
+  in
+  parse args;
+  Pool.set_default_domains !domains;
+  let selected =
+    match List.rev !names with
+    | [] -> all_figures
+    | ns -> List.map (fun n -> (n, List.assoc n all_figures)) ns
+  in
   let t0 = Unix.gettimeofday () in
-  (match which with
-  | "fig8" -> fig8 ()
-  | "fig9" -> fig9 ()
-  | "fig10" -> fig10 ()
-  | "fig11" -> fig11 ()
-  | "fig12" -> fig12 ()
-  | "extra" -> extra ()
-  | "micro" -> micro ()
-  | "all" | _ ->
-    fig8 ();
-    fig9 ();
-    fig10 ();
-    fig11 ();
-    fig12 ();
-    extra ();
-    micro ());
-  Printf.printf "\n[bench completed in %.1fs]\n" (Unix.gettimeofday () -. t0)
+  let results = List.map (run_figure ~json:(!json <> None)) selected in
+  match !json with
+  | None -> pr "\n[bench completed in %.1fs]\n" (Unix.gettimeofday () -. t0)
+  | Some path ->
+    let verify = verify_grid () in
+    let cache_stats =
+      List.fold_left
+        (fun acc r ->
+          { Tawa_machine.Progcache.hits = acc.Tawa_machine.Progcache.hits + r.r_cache.Tawa_machine.Progcache.hits;
+            misses = acc.Tawa_machine.Progcache.misses + r.r_cache.Tawa_machine.Progcache.misses })
+        no_stats results
+    in
+    let seq_total = List.fold_left (fun acc r -> acc +. r.r_seq) 0.0 results in
+    let par_total = List.fold_left (fun acc r -> acc +. r.r_par) 0.0 results in
+    let doc =
+      Json.Obj
+        [ ("schema", Json.Str "tawa-bench-trajectory/v1");
+          ("pr", Json.Int 1);
+          ( "engine",
+            Json.Str "domain-pool parallel CTA simulation + compiled-program cache" );
+          ( "host",
+            Json.Obj
+              [ ("cores", Json.Int (Domain.recommended_domain_count ()));
+                ("domains", Json.Int (Pool.default_domains ())) ] );
+          ( "figures",
+            Json.List
+              (List.map
+                 (fun r ->
+                   Json.Obj
+                     [ ("name", Json.Str r.r_name);
+                       ("sequential_seconds", Json.Float r.r_seq);
+                       ("parallel_seconds", Json.Float r.r_par);
+                       ( "speedup",
+                         Json.Float (if r.r_par > 0.0 then r.r_seq /. r.r_par else 1.0) );
+                       ( "compile_cache",
+                         Json.Obj
+                           [ ("hits", Json.Int r.r_cache.Tawa_machine.Progcache.hits);
+                             ("misses", Json.Int r.r_cache.Tawa_machine.Progcache.misses) ] );
+                       ("data", r.r_data) ])
+                 results) );
+          ("functional_verification", verify);
+          ( "compile_cache",
+            Json.Obj
+              [ ("hits", Json.Int cache_stats.Tawa_machine.Progcache.hits);
+                ("misses", Json.Int cache_stats.Tawa_machine.Progcache.misses) ] );
+          ( "totals",
+            Json.Obj
+              [ ("sequential_seconds", Json.Float seq_total);
+                ("parallel_seconds", Json.Float par_total);
+                ( "speedup",
+                  Json.Float (if par_total > 0.0 then seq_total /. par_total else 1.0) ) ] ) ]
+    in
+    Json.to_file path doc;
+    pr "\n[bench completed in %.1fs; trajectory written to %s]\n"
+      (Unix.gettimeofday () -. t0)
+      path

@@ -28,69 +28,106 @@ type compiled = {
   options : options;
 }
 
-(** Compile a frontend kernel through the full Tawa pipeline. *)
-let compile ?(options = default_options) (kernel : Kernel.t) : compiled =
-  let mopts =
-    {
-      Manager.default_options with
-      aref_depth = options.aref_depth;
-      mma_depth = options.mma_depth;
-      num_consumer_wgs = options.num_consumer_wgs;
-      persistent = options.persistent;
-      use_coarse = options.use_coarse;
-    }
-  in
-  let r = Manager.compile ~options:mopts kernel in
-  let program = Codegen.lower r.Manager.kernel in
+(* ------------------------- compile cache -------------------------- *)
+
+(* Everything a cache hit must reproduce. [source] is excluded: it is
+   the caller's kernel and differs (by value ids) between hits.
+   Cached [transformed]/[program] are shared between hits — both are
+   treated as read-only downstream (the simulator never mutates the
+   program it executes). *)
+type cache_entry = {
+  e_transformed : Kernel.t;
+  e_program : Isa.program;
+  e_ws : bool;
+  e_coarse : bool;
+}
+
+let cache : cache_entry Progcache.t = Progcache.create ()
+
+(** Hit/miss counters of the compiled-program cache. *)
+let cache_stats () = Progcache.stats cache
+
+let clear_cache () = Progcache.clear cache
+
+let options_key (o : options) =
+  Printf.sprintf "d%d.p%d.c%d.%b.%b" o.aref_depth o.mma_depth o.num_consumer_wgs
+    o.persistent o.use_coarse
+
+let cache_key kernel ~entry ~opts =
+  Printf.sprintf "%s|%s|%s" (Progcache.kernel_fingerprint kernel) entry opts
+
+let hit kernel (e : cache_entry) options =
   {
     source = kernel;
-    transformed = r.Manager.kernel;
-    program;
-    warp_specialized = r.Manager.warp_specialized;
-    coarse = r.Manager.coarse;
+    transformed = e.e_transformed;
+    program = e.e_program;
+    warp_specialized = e.e_ws;
+    coarse = e.e_coarse;
     options;
   }
+
+(** Compile a frontend kernel through the full Tawa pipeline.
+    Memoized on (kernel fingerprint, options): repeated compiles of a
+    structurally identical kernel return the cached program. *)
+let compile ?(options = default_options) (kernel : Kernel.t) : compiled =
+  let key = cache_key kernel ~entry:"tawa" ~opts:(options_key options) in
+  let e =
+    Progcache.find_or_add cache ~key (fun () ->
+        let mopts =
+          {
+            Manager.default_options with
+            aref_depth = options.aref_depth;
+            mma_depth = options.mma_depth;
+            num_consumer_wgs = options.num_consumer_wgs;
+            persistent = options.persistent;
+            use_coarse = options.use_coarse;
+          }
+        in
+        let r = Manager.compile ~options:mopts kernel in
+        let program = Codegen.lower r.Manager.kernel in
+        { e_transformed = r.Manager.kernel; e_program = program;
+          e_ws = r.Manager.warp_specialized; e_coarse = r.Manager.coarse })
+  in
+  hit kernel e options
 
 (** Compile with the Triton-style Ampere software pipeline instead of
     warp specialization (the paper's Triton baseline). *)
 let compile_sw_pipelined ?(stages = 3) (kernel : Kernel.t) : compiled =
-  let transformed = Sw_pipeline.apply ~stages kernel in
-  Verifier.verify transformed;
-  {
-    source = kernel;
-    transformed;
-    program = Codegen.lower transformed;
-    warp_specialized = false;
-    coarse = false;
-    options = { default_options with aref_depth = stages };
-  }
+  let key = cache_key kernel ~entry:"sw" ~opts:(string_of_int stages) in
+  let e =
+    Progcache.find_or_add cache ~key (fun () ->
+        let transformed = Sw_pipeline.apply ~stages kernel in
+        Verifier.verify transformed;
+        { e_transformed = transformed; e_program = Codegen.lower transformed;
+          e_ws = false; e_coarse = false })
+  in
+  hit kernel e { default_options with aref_depth = stages }
 
 (** Compile without any pipelining or asynchrony (naive global loads) —
     the "w/o WS" baseline of the Fig. 12 ablation. *)
 let compile_naive (kernel : Kernel.t) : compiled =
-  {
-    source = kernel;
-    transformed = kernel;
-    program =
-      Codegen.lower
-        ~options:{ Codegen.default_options with load_style = Codegen.Ldg_naive }
-        kernel;
-    warp_specialized = false;
-    coarse = false;
-    options = default_options;
-  }
+  let key = cache_key kernel ~entry:"naive" ~opts:"" in
+  let e =
+    Progcache.find_or_add cache ~key (fun () ->
+        { e_transformed = kernel;
+          e_program =
+            Codegen.lower
+              ~options:{ Codegen.default_options with load_style = Codegen.Ldg_naive }
+              kernel;
+          e_ws = false; e_coarse = false })
+  in
+  hit kernel e default_options
 
 (** Compile without warp specialization but with synchronous TMA
     (loads wait immediately; no overlap). *)
 let compile_sync_tma (kernel : Kernel.t) : compiled =
-  {
-    source = kernel;
-    transformed = kernel;
-    program = Codegen.lower kernel;
-    warp_specialized = false;
-    coarse = false;
-    options = default_options;
-  }
+  let key = cache_key kernel ~entry:"sync" ~opts:"" in
+  let e =
+    Progcache.find_or_add cache ~key (fun () ->
+        { e_transformed = kernel; e_program = Codegen.lower kernel;
+          e_ws = false; e_coarse = false })
+  in
+  hit kernel e default_options
 
 let dump_ir (c : compiled) = Printer.kernel_to_string c.transformed
 let dump_asm (c : compiled) = Isa.program_to_string c.program

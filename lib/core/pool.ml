@@ -1,0 +1,130 @@
+(** A reusable domain pool for embarrassingly-parallel work on the
+    OCaml 5 multicore runtime.
+
+    The pool is deliberately simple: each [map]/[iter] call spawns up
+    to [domains - 1] helper domains that pull indices from a shared
+    atomic counter (self-balancing "work stealing" at item
+    granularity), while the calling domain participates as a worker
+    itself. Results are written back by index, so the output order —
+    and therefore any fold over it — is independent of the execution
+    interleaving: determinism by construction.
+
+    Sizing: an explicit [?domains] argument wins; otherwise a
+    process-wide override set with {!set_default_domains} (used by the
+    bench harness's sequential-baseline mode); otherwise the
+    [TAWA_DOMAINS] environment variable; otherwise
+    [Domain.recommended_domain_count ()]. At size 1 (or on singleton /
+    empty inputs) every entry point degrades to a plain sequential
+    loop with no domain spawned, which is the deterministic fallback
+    the tests pin against.
+
+    Nested calls never oversubscribe: a [map] issued from inside a
+    pool worker (e.g. a parallel bench sweep point that itself runs a
+    parallel grid) runs sequentially in that worker.
+
+    Exceptions: the first worker failure (by completion order) is
+    recorded, remaining work is abandoned cooperatively, every helper
+    domain is joined, and the original exception is re-raised with its
+    backtrace in the calling domain. *)
+
+let env_domains () =
+  match Sys.getenv_opt "TAWA_DOMAINS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | _ -> None)
+
+(* Process-wide override; [None] defers to the environment. *)
+let override : int option Atomic.t = Atomic.make None
+
+let set_default_domains n = Atomic.set override n
+
+let default_domains () =
+  match Atomic.get override with
+  | Some n -> max 1 n
+  | None -> (
+    match env_domains () with
+    | Some n -> n
+    | None -> max 1 (Domain.recommended_domain_count ()))
+
+(* True inside a pool worker; nested pools degrade to sequential. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let resolve_domains domains n =
+  if Domain.DLS.get in_worker then 1
+  else
+    let d = match domains with Some d -> max 1 d | None -> default_domains () in
+    min d (max 1 n)
+
+(* Shared parallel driver: run [body i] for all [i < n] on [domains]
+   workers, first exception wins. [body] must only write state owned
+   by index [i]. *)
+let run_indices ~domains ~n body =
+  if n > 0 then begin
+    if domains <= 1 then
+      for i = 0 to n - 1 do
+        body i
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let error : (exn * Printexc.raw_backtrace) option Atomic.t =
+        Atomic.make None
+      in
+      let worker () =
+        Domain.DLS.set in_worker true;
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n || Atomic.get error <> None then continue := false
+          else
+            try body i
+            with e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set error None (Some (e, bt)))
+        done;
+        Domain.DLS.set in_worker false
+      in
+      let helpers = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join helpers;
+      match Atomic.get error with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+(** [map ?domains f xs] is [Array.map f xs] evaluated in parallel.
+    Output order matches input order regardless of domain count. *)
+let map ?domains f xs =
+  let n = Array.length xs in
+  let domains = resolve_domains domains n in
+  if domains <= 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    run_indices ~domains ~n (fun i -> results.(i) <- Some (f xs.(i)));
+    Array.map
+      (function Some v -> v | None -> invalid_arg "Pool.map: missing result")
+      results
+  end
+
+(** [iter ?domains f xs] applies [f] to every element; [f] must only
+    touch state owned by its element (disjoint output tiles). *)
+let iter ?domains f xs =
+  let n = Array.length xs in
+  let domains = resolve_domains domains n in
+  if domains <= 1 then Array.iter f xs
+  else run_indices ~domains ~n (fun i -> f xs.(i))
+
+(** [map_list] is {!map} over a list, preserving order. *)
+let map_list ?domains f xs = Array.to_list (map ?domains f (Array.of_list xs))
+
+(** [run_all ?domains thunks] forces independent computations in
+    parallel and returns their results in order. *)
+let run_all ?domains (thunks : (unit -> 'a) array) : 'a array =
+  map ?domains (fun f -> f ()) thunks
+
+(** Parallel max-reduction of [f] over [xs] — the grid-cycles shape:
+    order-independent because [max] is associative and commutative. *)
+let max_float ?domains f xs =
+  Array.fold_left Float.max 0.0 (map ?domains f xs)

@@ -50,20 +50,28 @@ let run_grid_functional ~(cfg : Config.t) (program : Isa.program) ~(params : Sim
     (Sim.run cta).Sim.cycles
   end
   else begin
-    let worst = ref 0.0 in
-    for z = 0 to gz - 1 do
-      for y = 0 to gy - 1 do
-        for x = 0 to gx - 1 do
-          let cta =
-            Sim.create ~cfg ~program ~params ~num_programs ~pop_global:no_queue
-          in
-          cta.Sim.pid <- [| x; y; z |];
-          let o = Sim.run cta in
-          if o.Sim.cycles > !worst then worst := o.Sim.cycles
-        done
-      done
-    done;
-    !worst
+    (* CTAs are independent: each gets a fresh [Sim.create] (private
+       SMEM, mbarriers, register files) and writes a disjoint output
+       tile of the shared parameter buffers, so they can be simulated
+       on a domain pool. The reduction is a [max] over per-CTA cycles
+       (associative, commutative), so the result is bit-identical for
+       any domain count; [Sim_error] deadlocks in any CTA propagate
+       out of the pool. *)
+    let total = gx * gy * gz in
+    let pids =
+      Array.init total (fun i ->
+          let x = i mod gx in
+          let rest = i / gx in
+          [| x; rest mod gy; rest / gy |])
+    in
+    Tawa_pool.Pool.max_float
+      (fun pid ->
+        let cta =
+          Sim.create ~cfg ~program ~params ~num_programs ~pop_global:no_queue
+        in
+        cta.Sim.pid <- pid;
+        (Sim.run cta).Sim.cycles)
+      pids
   end
 
 (** Timing estimate for a [grid] launch at scale. [flops] is the useful
@@ -152,18 +160,27 @@ let estimate_grouped ~(cfg : Config.t)
     { Sim.tc_busy = 0.0; tma_busy = 0.0; tma_bytes = 0.0; wgmma_count = 0; tma_count = 0;
       steps = 0 }
   in
+  (* Each work unit of the SM's share is an independent simulation;
+     run them on the domain pool, then accumulate sequentially in
+     queue order so the float sums are bit-identical to the serial
+     engine for any domain count. *)
+  let outcomes =
+    Tawa_pool.Pool.map_list
+      (fun (program, params, pid, (gx, gy, gz)) ->
+        let cta =
+          Sim.create ~cfg ~program ~params ~num_programs:[| gx; gy; gz |]
+            ~pop_global:no_queue
+        in
+        cta.Sim.pid <- pid;
+        Sim.run cta)
+      mine
+  in
   List.iter
-    (fun (program, params, pid, (gx, gy, gz)) ->
-      let cta =
-        Sim.create ~cfg ~program ~params ~num_programs:[| gx; gy; gz |]
-          ~pop_global:no_queue
-      in
-      cta.Sim.pid <- pid;
-      let o = Sim.run cta in
+    (fun (o : Sim.outcome) ->
       agg := !agg +. o.Sim.cycles;
       stats.Sim.tc_busy <- stats.Sim.tc_busy +. o.Sim.stats.Sim.tc_busy;
       stats.Sim.tma_busy <- stats.Sim.tma_busy +. o.Sim.stats.Sim.tma_busy)
-    mine;
+    outcomes;
   (* Persistent execution avoids per-item launches; only queue pops. *)
   let cycles =
     cfg.Config.launch_overhead_cycles

@@ -89,11 +89,11 @@ and block = { mutable params : Value.t list; mutable ops : op list }
 
 and region = { mutable blocks : block list }
 
-let op_counter = ref 0
+(* Atomic: ops may be created concurrently by parallel compiles. *)
+let op_counter = Atomic.make 0
 
 let mk ?(operands = []) ?(results = []) ?(attrs = []) ?(regions = []) opcode =
-  incr op_counter;
-  { oid = !op_counter; opcode; operands; results; attrs; regions }
+  { oid = Atomic.fetch_and_add op_counter 1 + 1; opcode; operands; results; attrs; regions }
 
 let block ?(params = []) ops = { params; ops }
 let region blocks = { blocks }
@@ -222,8 +222,7 @@ let clone_region ?(outer : Value.t Value.Tbl.t option) (r : region) :
     let results = List.map clone_value op.results in
     let operands = List.map lookup op.operands in
     let regions = List.map clone_reg op.regions in
-    incr op_counter;
-    { oid = !op_counter; opcode = op.opcode; operands; results;
+    { oid = Atomic.fetch_and_add op_counter 1 + 1; opcode = op.opcode; operands; results;
       attrs = op.attrs; regions }
   and clone_block (b : block) =
     let params = List.map clone_value b.params in

@@ -3,11 +3,11 @@
 
 type t = { id : int; ty : Types.ty; mutable hint : string }
 
-let counter = ref 0
+(* Atomic so kernels can be built/compiled from several domains at
+   once (parallel bench sweeps); ids stay globally unique. *)
+let counter = Atomic.make 0
 
-let fresh ?(hint = "") ty =
-  incr counter;
-  { id = !counter; ty; hint }
+let fresh ?(hint = "") ty = { id = Atomic.fetch_and_add counter 1 + 1; ty; hint }
 
 let id v = v.id
 let ty v = v.ty

@@ -1,0 +1,138 @@
+(** Compiled-program cache.
+
+    Bench sweeps and repeated test launches compile the same frontend
+    kernel with the same options over and over (every sweep point, every
+    autotune candidate re-runs the full pass stack + codegen). This
+    module memoizes [kernel fingerprint x config -> compiled artifact].
+
+    The fingerprint is content-based: the kernel's canonical printed
+    form with SSA value names renumbered by first occurrence, so two
+    structurally identical kernels built at different times (with
+    different global value ids) hash identically. Kernel attributes and
+    parameter/result types are part of the printed form, so changing any
+    attribute misses the cache; the caller appends its own option
+    encoding to the key so changing any config field misses too.
+
+    The table is guarded by a mutex: parallel bench sweeps compile from
+    several domains at once. Lookups and insertions are locked; a missed
+    compile runs outside the lock (two domains racing on the same key
+    may both compile, last insert wins — both artifacts are equivalent
+    by construction). Set [TAWA_COMPILE_CACHE=0] to disable caching
+    process-wide. *)
+
+open Tawa_ir
+
+type stats = { mutable hits : int; mutable misses : int }
+
+type 'v t = {
+  table : (string, 'v) Hashtbl.t;
+  lock : Mutex.t;
+  stats : stats;
+  max_entries : int;
+}
+
+let enabled_env () =
+  match Sys.getenv_opt "TAWA_COMPILE_CACHE" with
+  | Some ("0" | "off" | "false") -> false
+  | _ -> true
+
+(* Process-wide switch, initialized from the environment; the bench
+   harness flips it to measure the uncached sequential baseline. *)
+let enabled = Atomic.make (enabled_env ())
+
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
+
+let create ?(max_entries = 512) () =
+  { table = Hashtbl.create 64; lock = Mutex.create (); stats = { hits = 0; misses = 0 };
+    max_entries }
+
+let clear c =
+  Mutex.lock c.lock;
+  Hashtbl.reset c.table;
+  c.stats.hits <- 0;
+  c.stats.misses <- 0;
+  Mutex.unlock c.lock
+
+(** Snapshot of the hit/miss counters (copied, safe to keep). *)
+let stats c =
+  Mutex.lock c.lock;
+  let s = { hits = c.stats.hits; misses = c.stats.misses } in
+  Mutex.unlock c.lock;
+  s
+
+let length c =
+  Mutex.lock c.lock;
+  let n = Hashtbl.length c.table in
+  Mutex.unlock c.lock;
+  n
+
+(** [find_or_add c ~key f]: return the cached artifact for [key], or
+    compute it with [f], cache it, and return it. With caching disabled
+    this is just [f ()]. *)
+let find_or_add c ~key f =
+  if not (Atomic.get enabled) then f ()
+  else begin
+    Mutex.lock c.lock;
+    match Hashtbl.find_opt c.table key with
+    | Some v ->
+      c.stats.hits <- c.stats.hits + 1;
+      Mutex.unlock c.lock;
+      v
+    | None ->
+      c.stats.misses <- c.stats.misses + 1;
+      Mutex.unlock c.lock;
+      (* Compile outside the lock so independent keys proceed in
+         parallel. *)
+      let v = f () in
+      Mutex.lock c.lock;
+      if Hashtbl.length c.table >= c.max_entries then Hashtbl.reset c.table;
+      Hashtbl.replace c.table key v;
+      Mutex.unlock c.lock;
+      v
+  end
+
+(* ----------------------- kernel fingerprint ----------------------- *)
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+  | _ -> false
+
+(** Canonicalize a printed kernel: every SSA value token ([%name_id])
+    is renumbered by first occurrence, erasing the global value-id
+    counter so structurally identical kernels print identically. *)
+let canonicalize_printed s =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '%' then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_ident_char s.[!j] do
+        incr j
+      done;
+      let tok = String.sub s !i (!j - !i) in
+      let id =
+        match Hashtbl.find_opt ids tok with
+        | Some id -> id
+        | None ->
+          let id = Hashtbl.length ids in
+          Hashtbl.add ids tok id;
+          id
+      in
+      Buffer.add_string buf "%v";
+      Buffer.add_string buf (string_of_int id);
+      i := !j
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+(** Content fingerprint of a kernel: digest of its canonicalized
+    printed form (ops, types, attributes — everything codegen sees). *)
+let kernel_fingerprint (k : Kernel.t) =
+  Digest.to_hex (Digest.string (canonicalize_printed (Printer.kernel_to_string k)))

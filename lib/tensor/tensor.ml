@@ -25,7 +25,11 @@ let strides_of_shape shape =
 
 let quantize dtype v =
   match (dtype : Dtype.t) with
-  | F32 -> Int32.float_of_bits (Int32.bits_of_float v)
+  (* F32 payloads are identity: both the simulator and the reference
+     interpreter accumulate in the same OCaml floats, so the
+     single-precision round-trip bought nothing but two boxed Int32
+     conversions on every store of every hot loop. *)
+  | F32 -> v
   | F16 -> Fp16.round v
   | F8E4M3 -> Fp8.round v
   | I32 -> Float.of_int (int_of_float v)
@@ -94,11 +98,17 @@ let copy t =
            data = Array.copy t.data }
 
 let cast dtype t =
-  let out = create ~dtype t.shape in
-  for i = 0 to numel t - 1 do
-    out.data.(i) <- quantize dtype t.data.(i)
-  done;
-  out
+  if dtype = t.dtype then
+    (* Payload already quantized at [dtype]: a raw copy is identical. *)
+    { t with shape = Array.copy t.shape; strides = Array.copy t.strides;
+             data = Array.copy t.data }
+  else begin
+    let out = create ~dtype t.shape in
+    for i = 0 to numel t - 1 do
+      out.data.(i) <- quantize dtype t.data.(i)
+    done;
+    out
+  end
 
 let map f t =
   let out = create ~dtype:t.dtype t.shape in
@@ -139,14 +149,29 @@ let slice2 ?dtype src ~r0 ~c0 ~rows ~cols =
   if rank src <> 2 then invalid_arg "Tensor.slice2: rank <> 2";
   let out = create ~dtype [| rows; cols |] in
   let sr = dim src 0 and sc = dim src 1 in
-  for i = 0 to rows - 1 do
-    let r = r0 + i in
-    if r >= 0 && r < sr then
-      for j = 0 to cols - 1 do
-        let c = c0 + j in
-        if c >= 0 && c < sc then set2 out i j (get2 src r c)
+  if dtype = src.dtype then begin
+    (* Bulk row path (the TMA copy loop): the source payload is
+       already quantized at [dtype], so per-element requantization is
+       the identity and each row's in-bounds span is one [Array.blit]. *)
+    let cs = max 0 c0 and ce = min sc (c0 + cols) in
+    let len = ce - cs in
+    if len > 0 then
+      for i = 0 to rows - 1 do
+        let r = r0 + i in
+        if r >= 0 && r < sr then
+          Array.blit src.data ((r * src.strides.(0)) + cs) out.data
+            ((i * cols) + (cs - c0)) len
       done
-  done;
+  end
+  else
+    for i = 0 to rows - 1 do
+      let r = r0 + i in
+      if r >= 0 && r < sr then
+        for j = 0 to cols - 1 do
+          let c = c0 + j in
+          if c >= 0 && c < sc then set2 out i j (get2 src r c)
+        done
+    done;
   out
 
 (** Write a 2-D tile back into [dst] at (r0, c0), clipping out-of-bounds
@@ -154,14 +179,30 @@ let slice2 ?dtype src ~r0 ~c0 ~rows ~cols =
 let blit2 ~dst ~r0 ~c0 tile =
   if rank dst <> 2 || rank tile <> 2 then invalid_arg "Tensor.blit2: rank <> 2";
   let dr = dim dst 0 and dc = dim dst 1 in
-  for i = 0 to dim tile 0 - 1 do
-    let r = r0 + i in
-    if r >= 0 && r < dr then
-      for j = 0 to dim tile 1 - 1 do
-        let c = c0 + j in
-        if c >= 0 && c < dc then set2 dst r c (get2 tile i j)
+  let tr = dim tile 0 and tc = dim tile 1 in
+  if dst.dtype = tile.dtype then begin
+    (* Bulk row path (TMA store-out): tile payloads are already
+       quantized at the destination dtype, so each row's clipped span
+       is one [Array.blit]. *)
+    let cs = max 0 c0 and ce = min dc (c0 + tc) in
+    let len = ce - cs in
+    if len > 0 then
+      for i = 0 to tr - 1 do
+        let r = r0 + i in
+        if r >= 0 && r < dr then
+          Array.blit tile.data ((i * tc) + (cs - c0)) dst.data
+            ((r * dst.strides.(0)) + cs) len
       done
-  done
+  end
+  else
+    for i = 0 to tr - 1 do
+      let r = r0 + i in
+      if r >= 0 && r < dr then
+        for j = 0 to tc - 1 do
+          let c = c0 + j in
+          if c >= 0 && c < dc then set2 dst r c (get2 tile i j)
+        done
+    done
 
 let transpose2 t =
   if rank t <> 2 then invalid_arg "Tensor.transpose2: rank <> 2";

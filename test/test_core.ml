@@ -77,6 +77,96 @@ let test_flow_all_paths_agree () =
           kernel ) ]
 
 (* ------------------------------------------------------------------ *)
+(* Compile cache                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let default_opts = Flow.default_options
+
+(* Two separately-built gemm kernels are structurally identical but
+   carry different global SSA value ids; the content fingerprint must
+   erase that difference so the second compile hits. *)
+let test_cache_hit_on_identical_kernel () =
+  Flow.clear_cache ();
+  let c1 = Flow.compile (Kernels.gemm ~tiles:small_tiles ()) in
+  let c2 = Flow.compile (Kernels.gemm ~tiles:small_tiles ()) in
+  let s = Flow.cache_stats () in
+  Alcotest.(check int) "one miss" 1 s.Tawa_machine.Progcache.misses;
+  Alcotest.(check int) "one hit" 1 s.Tawa_machine.Progcache.hits;
+  (* A hit shares the compiled artifact, it doesn't recompile. *)
+  Alcotest.(check bool) "same program" true (c1.Flow.program == c2.Flow.program);
+  Alcotest.(check bool) "same transformed IR" true
+    (c1.Flow.transformed == c2.Flow.transformed)
+
+let test_cache_miss_on_option_change () =
+  Flow.clear_cache ();
+  let kernel () = Kernels.gemm ~tiles:small_tiles () in
+  ignore (Flow.compile ~options:default_opts (kernel ()));
+  (* Every field of the options record is part of the key. *)
+  List.iter
+    (fun options -> ignore (Flow.compile ~options (kernel ())))
+    [ { default_opts with Flow.aref_depth = 3 };
+      { default_opts with Flow.mma_depth = 1 };
+      { default_opts with Flow.num_consumer_wgs = 2 };
+      { default_opts with Flow.persistent = true } ];
+  let s = Flow.cache_stats () in
+  Alcotest.(check int) "five distinct configs miss" 5 s.Tawa_machine.Progcache.misses;
+  Alcotest.(check int) "no hits" 0 s.Tawa_machine.Progcache.hits
+
+let test_cache_miss_on_kernel_change () =
+  Flow.clear_cache ();
+  ignore (Flow.compile (Kernels.gemm ~tiles:small_tiles ()));
+  (* A different tile attribute changes the printed kernel. *)
+  ignore
+    (Flow.compile
+       (Kernels.gemm ~tiles:{ small_tiles with Kernels.block_k = 16 } ()));
+  (* A different dtype changes parameter types. *)
+  ignore (Flow.compile (Kernels.gemm ~tiles:small_tiles ~dtype:Dtype.F8E4M3 ()));
+  (* A different entry point never collides, even on the same kernel. *)
+  ignore (Flow.compile_naive (Kernels.gemm ~tiles:small_tiles ()));
+  let s = Flow.cache_stats () in
+  Alcotest.(check int) "all four miss" 4 s.Tawa_machine.Progcache.misses;
+  Alcotest.(check int) "no hits" 0 s.Tawa_machine.Progcache.hits
+
+let test_cache_disabled () =
+  Flow.clear_cache ();
+  Tawa_machine.Progcache.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Tawa_machine.Progcache.set_enabled true)
+    (fun () ->
+      let c1 = Flow.compile (Kernels.gemm ~tiles:small_tiles ()) in
+      let c2 = Flow.compile (Kernels.gemm ~tiles:small_tiles ()) in
+      let s = Flow.cache_stats () in
+      Alcotest.(check int) "no hits when disabled" 0 s.Tawa_machine.Progcache.hits;
+      Alcotest.(check int) "no misses counted when disabled" 0
+        s.Tawa_machine.Progcache.misses;
+      Alcotest.(check bool) "distinct programs" true
+        (c1.Flow.program != c2.Flow.program))
+
+let test_cached_program_still_correct () =
+  (* The shared artifact of a cache hit simulates identically to the
+     miss that produced it. *)
+  Flow.clear_cache ();
+  let run () =
+    let c = Flow.compile (Kernels.gemm ~tiles:small_tiles ()) in
+    let m = 16 and n = 16 and kk = 16 in
+    let a = Tensor.random ~dtype:Dtype.F16 ~seed:5 [| m; kk |] in
+    let b = Tensor.random ~dtype:Dtype.F16 ~seed:6 [| kk; n |] in
+    let out = Tensor.create ~dtype:Dtype.F16 [| m; n |] in
+    ignore
+      (Launch.run_grid_functional ~cfg:Config.functional_test c.Flow.program
+         ~params:
+           [ Sim.Rtensor a; Sim.Rtensor b; Sim.Rtensor out; Sim.Rint m; Sim.Rint n;
+             Sim.Rint kk ]
+         ~grid:(1, 1, 1));
+    out
+  in
+  let miss = run () in
+  let hit = run () in
+  Alcotest.(check int) "second run hit" 1
+    (Flow.cache_stats ()).Tawa_machine.Progcache.hits;
+  Alcotest.(check bool) "hit output identical" true (Tensor.equal miss hit)
+
+(* ------------------------------------------------------------------ *)
 (* Autotune                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -223,6 +313,16 @@ let suites =
         Alcotest.test_case "compile naive" `Quick test_flow_compile_naive;
         Alcotest.test_case "attention coarse" `Quick test_flow_attention_coarse;
         Alcotest.test_case "all paths agree" `Quick test_flow_all_paths_agree;
+      ] );
+    ( "core.cache",
+      [
+        Alcotest.test_case "hit on identical kernel" `Quick
+          test_cache_hit_on_identical_kernel;
+        Alcotest.test_case "miss on option change" `Quick test_cache_miss_on_option_change;
+        Alcotest.test_case "miss on kernel change" `Quick test_cache_miss_on_kernel_change;
+        Alcotest.test_case "disabled cache" `Quick test_cache_disabled;
+        Alcotest.test_case "cached program correct" `Quick
+          test_cached_program_still_correct;
       ] );
     ( "core.autotune",
       [

@@ -1,0 +1,202 @@
+(* Tests for the domain pool and the parallel grid engine built on it:
+   determinism across domain counts, exception propagation, and
+   bit-identical parallel-vs-sequential functional simulation. *)
+
+open Tawa_tensor
+open Tawa_frontend
+open Tawa_core
+open Tawa_gpusim
+module Pool = Tawa_pool.Pool
+
+let small_tiles = { Kernels.block_m = 16; block_n = 16; block_k = 8 }
+let cfg = Config.functional_test
+
+(* Run [f] with the process-wide default domain count pinned to [d],
+   restoring the previous override afterwards even on failure. *)
+let with_domains d f =
+  Pool.set_default_domains (Some d);
+  Fun.protect ~finally:(fun () -> Pool.set_default_domains None) f
+
+(* ------------------------------------------------------------------ *)
+(* Pool primitives                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_deterministic () =
+  let xs = Array.init 100 (fun i -> i) in
+  let f i = (i * i) + 7 in
+  let expected = Array.map f xs in
+  List.iter
+    (fun d ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "map with %d domains" d)
+        expected
+        (Pool.map ~domains:d f xs))
+    [ 1; 2; 8 ]
+
+let test_map_order_preserved () =
+  (* Uneven per-item work: later items finish first under any real
+     interleaving, but results must still land at their index. *)
+  let xs = Array.init 32 (fun i -> i) in
+  let f i =
+    let acc = ref 0 in
+    for j = 0 to (32 - i) * 1000 do
+      acc := (!acc + j) land 0xFFFF
+    done;
+    (i, !acc)
+  in
+  let seq = Pool.map ~domains:1 f xs in
+  let par = Pool.map ~domains:4 f xs in
+  Alcotest.(check bool) "order preserved" true (seq = par);
+  Array.iteri (fun i (j, _) -> Alcotest.(check int) "index" i j) par
+
+let test_map_edge_sizes () =
+  Alcotest.(check (array int)) "empty" [||] (Pool.map ~domains:4 (fun x -> x) [||]);
+  Alcotest.(check (array int)) "singleton" [| 42 |]
+    (Pool.map ~domains:4 (fun x -> x * 42) [| 1 |]);
+  (* More domains than items. *)
+  Alcotest.(check (array int)) "domains > n" [| 2; 4 |]
+    (Pool.map ~domains:16 (fun x -> 2 * x) [| 1; 2 |])
+
+let test_map_list_and_run_all () =
+  Alcotest.(check (list int)) "map_list" [ 1; 4; 9 ]
+    (Pool.map_list ~domains:3 (fun x -> x * x) [ 1; 2; 3 ]);
+  Alcotest.(check (array int)) "run_all" [| 10; 20 |]
+    (Pool.run_all ~domains:2 [| (fun () -> 10); (fun () -> 20) |]);
+  Alcotest.(check (float 1e-9)) "max_float" 9.0
+    (Pool.max_float ~domains:2 (fun x -> x *. x) [| 1.0; -3.0; 2.0 |])
+
+exception Boom of int
+
+let test_exception_propagation () =
+  (* The worker that hits item 13 fails; the original exception (not a
+     wrapper) must surface in the calling domain, for any domain
+     count — including the sequential fallback. *)
+  List.iter
+    (fun d ->
+      Alcotest.check_raises
+        (Printf.sprintf "raises with %d domains" d)
+        (Boom 13)
+        (fun () ->
+          ignore
+            (Pool.map ~domains:d
+               (fun i -> if i = 13 then raise (Boom 13) else i)
+               (Array.init 64 (fun i -> i)))))
+    [ 1; 4 ]
+
+let test_iter_disjoint_writes () =
+  let out = Array.make 64 (-1) in
+  Pool.iter ~domains:4 (fun i -> out.(i) <- 2 * i) (Array.init 64 (fun i -> i));
+  Alcotest.(check (array int)) "all slots written" (Array.init 64 (fun i -> 2 * i)) out
+
+let test_nested_map_sequentializes () =
+  (* A map inside a pool worker must not oversubscribe — and must still
+     compute the right thing. *)
+  let got =
+    Pool.map ~domains:4
+      (fun i -> Array.fold_left ( + ) 0 (Pool.map ~domains:4 (fun j -> i * j) (Array.init 8 (fun j -> j))))
+      (Array.init 8 (fun i -> i))
+  in
+  Alcotest.(check (array int)) "nested results" (Array.init 8 (fun i -> i * 28)) got
+
+let test_default_domains_override () =
+  with_domains 3 (fun () ->
+      Alcotest.(check int) "override wins" 3 (Pool.default_domains ()));
+  Alcotest.(check bool) "restored positive" true (Pool.default_domains () >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel grid engine: bit-identical to sequential                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_gemm_grid () =
+  let c = Flow.compile (Kernels.gemm ~tiles:small_tiles ()) in
+  let m = 48 and n = 32 and kk = 24 in
+  let a = Tensor.random ~dtype:Dtype.F16 ~seed:1 [| m; kk |] in
+  let b = Tensor.random ~dtype:Dtype.F16 ~seed:2 [| kk; n |] in
+  let out = Tensor.create ~dtype:Dtype.F16 [| m; n |] in
+  let cycles =
+    Launch.run_grid_functional ~cfg c.Flow.program
+      ~params:
+        [ Sim.Rtensor a; Sim.Rtensor b; Sim.Rtensor out; Sim.Rint m; Sim.Rint n;
+          Sim.Rint kk ]
+      ~grid:(m / 16, n / 16, 1)
+  in
+  (out, cycles)
+
+let test_grid_gemm_bit_identical () =
+  let out1, cycles1 = with_domains 1 run_gemm_grid in
+  List.iter
+    (fun d ->
+      let outd, cyclesd = with_domains d run_gemm_grid in
+      Alcotest.(check bool)
+        (Printf.sprintf "gemm tensors identical at %d domains" d)
+        true (Tensor.equal out1 outd);
+      Alcotest.(check bool)
+        (Printf.sprintf "gemm cycles identical at %d domains" d)
+        true (cycles1 = cyclesd))
+    [ 2; 4 ]
+
+let run_attention_grid () =
+  let l = 64 and hd = 8 in
+  let kernel = Kernels.attention ~block_m:16 ~block_n:16 ~head_dim:hd ~causal:true () in
+  let c =
+    Flow.compile
+      ~options:
+        { Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1; persistent = false;
+          use_coarse = true }
+      kernel
+  in
+  let q = Tensor.random ~dtype:Dtype.F16 ~seed:31 [| l; hd |] in
+  let kt = Tensor.random ~dtype:Dtype.F16 ~seed:32 [| l; hd |] in
+  let v = Tensor.random ~dtype:Dtype.F16 ~seed:33 [| l; hd |] in
+  let o = Tensor.create ~dtype:Dtype.F16 [| l; hd |] in
+  let cycles =
+    Launch.run_grid_functional ~cfg c.Flow.program
+      ~params:[ Sim.Rtensor q; Sim.Rtensor kt; Sim.Rtensor v; Sim.Rtensor o; Sim.Rint l ]
+      ~grid:(l / 16, 1, 1)
+  in
+  (o, cycles)
+
+let test_grid_attention_bit_identical () =
+  let o1, cycles1 = with_domains 1 run_attention_grid in
+  let o4, cycles4 = with_domains 4 run_attention_grid in
+  Alcotest.(check bool) "attention tensors identical" true (Tensor.equal o1 o4);
+  Alcotest.(check bool) "attention cycles identical" true (cycles1 = cycles4)
+
+let test_grid_deadlock_propagates () =
+  (* A CTA that starves must still surface Sim_error through the pool,
+     not hang or return silently. Wrong-arity params fail in every CTA;
+     first failure wins and aborts the rest. *)
+  let c = Flow.compile (Kernels.gemm ~tiles:small_tiles ()) in
+  with_domains 4 (fun () ->
+      Alcotest.(check bool) "Sim_error through pool" true
+        (try
+           ignore
+             (Launch.run_grid_functional ~cfg c.Flow.program ~params:[ Sim.Rnone ]
+                ~grid:(4, 4, 1));
+           false
+         with Sim.Sim_error _ -> true))
+
+let suites =
+  [
+    ( "pool.primitives",
+      [
+        Alcotest.test_case "map deterministic across domains" `Quick
+          test_map_deterministic;
+        Alcotest.test_case "map preserves order" `Quick test_map_order_preserved;
+        Alcotest.test_case "edge sizes" `Quick test_map_edge_sizes;
+        Alcotest.test_case "map_list / run_all / max_float" `Quick
+          test_map_list_and_run_all;
+        Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+        Alcotest.test_case "iter disjoint writes" `Quick test_iter_disjoint_writes;
+        Alcotest.test_case "nested map sequentializes" `Quick
+          test_nested_map_sequentializes;
+        Alcotest.test_case "default override" `Quick test_default_domains_override;
+      ] );
+    ( "pool.grid",
+      [
+        Alcotest.test_case "gemm grid bit-identical" `Quick test_grid_gemm_bit_identical;
+        Alcotest.test_case "attention grid bit-identical" `Quick
+          test_grid_attention_bit_identical;
+        Alcotest.test_case "sim error propagates" `Quick test_grid_deadlock_propagates;
+      ] );
+  ]

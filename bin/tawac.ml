@@ -33,7 +33,8 @@ let compile_one ~mode ~options (k : Kernel.t) =
 
 (* ---------------------------- compile ----------------------------- *)
 
-let do_compile path kernel_name d p coop persistent coarse sw naive dump_ir dump_asm =
+let do_compile path kernel_name d p coop persistent coarse sw naive dump_ir dump_asm check
+    ids =
   try
     let mode =
       if naive then Naive else match sw with Some s -> Sw_pipeline s | None -> Tawa_ws
@@ -44,6 +45,7 @@ let do_compile path kernel_name d p coop persistent coarse sw naive dump_ir dump
       Printf.eprintf "tawac: no kernels found\n";
       exit 1
     end;
+    let check_failed = ref false in
     List.iter
       (fun k ->
         let c = compile_one ~mode ~options k in
@@ -55,10 +57,53 @@ let do_compile path kernel_name d p coop persistent coarse sw naive dump_ir dump
           (Tawa_machine.Isa.instr_count c.Flow.program)
           (Tawa_machine.Isa.smem_bytes c.Flow.program)
           c.Flow.program.Tawa_machine.Isa.num_mbarriers;
-        if dump_ir then print_string (Flow.dump_ir c);
+        if check then begin
+          let ds = Flow.check_compiled c in
+          List.iter (fun d -> print_endline (Tawa_analysis.Diagnostic.to_string d)) ds;
+          if Tawa_analysis.Diagnostic.errors ds <> [] then check_failed := true
+        end;
+        if dump_ir then print_string (Flow.dump_ir ~ids c);
         if dump_asm then print_string (Flow.dump_asm c))
       kernels;
-    0
+    if !check_failed then 1 else 0
+  with
+  | Elaborate.Elab_error (msg, pos) | Parser.Parse_error (msg, pos) ->
+    Printf.eprintf "%s:%d:%d: error: %s\n" path pos.Ast.line pos.Ast.col msg;
+    1
+  | Lexer.Lex_error (msg, pos) ->
+    Printf.eprintf "%s:%d:%d: lexical error: %s\n" path pos.Ast.line pos.Ast.col msg;
+    1
+  | Verifier.Ill_formed msg ->
+    Printf.eprintf "tawac: IR verification failed: %s\n" msg;
+    1
+  | Tawa_analysis.Arefcheck.Check_failed (what, ds) ->
+    Printf.eprintf "tawac: arefcheck failed for %s:\n%s\n" what
+      (Tawa_analysis.Diagnostic.report ds);
+    1
+
+(* ----------------------------- check ------------------------------- *)
+
+let do_check path kernel_name d p coop persistent coarse =
+  try
+    let options = options_of ~d ~p ~coop ~persistent ~coarse in
+    let kernels = read_kernels path kernel_name in
+    if kernels = [] then begin
+      Printf.eprintf "tawac: no kernels found\n";
+      exit 1
+    end;
+    let failed = ref false in
+    List.iter
+      (fun k ->
+        let c = Flow.compile ~options k in
+        let ds = Flow.check_compiled c in
+        List.iter (fun d -> print_endline (Tawa_analysis.Diagnostic.to_string d)) ds;
+        if Tawa_analysis.Diagnostic.errors ds <> [] then failed := true
+        else
+          Printf.printf "kernel @%s: arefcheck clean (%s%s)\n" k.Kernel.name
+            (if c.Flow.warp_specialized then "warp-specialized" else "not specialized")
+            (if c.Flow.coarse then " + coarse pipeline" else ""))
+      kernels;
+    if !failed then 1 else 0
   with
   | Elaborate.Elab_error (msg, pos) | Parser.Parse_error (msg, pos) ->
     Printf.eprintf "%s:%d:%d: error: %s\n" path pos.Ast.line pos.Ast.col msg;
@@ -220,6 +265,18 @@ let naive_arg =
 let dump_ir_arg = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the transformed IR.")
 let dump_asm_arg = Arg.(value & flag & info [ "dump-asm" ] ~doc:"Print the PTX-like machine code.")
 
+let check_arg =
+  Arg.(value & flag
+       & info [ "check" ]
+           ~doc:"Run the arefcheck protocol analyses on the compiled kernel and fail on errors \
+                 (also enabled by setting \\$(b,TAWA_CHECK) in the environment).")
+
+let ids_arg =
+  Arg.(value & flag
+       & info [ "ids" ]
+           ~doc:"With $(b,--dump-ir), annotate every op with its stable id so arefcheck \
+                 diagnostics can be correlated with the dump.")
+
 let m_arg = Arg.(value & opt int 64 & info [ "m" ] ~doc:"GEMM M.")
 let n_arg = Arg.(value & opt int 64 & info [ "n" ] ~doc:"GEMM N.")
 let k_arg = Arg.(value & opt int 64 & info [ "k" ] ~doc:"GEMM K.")
@@ -230,7 +287,15 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(
       const do_compile $ file_arg $ kernel_arg $ d_arg $ p_arg $ coop_arg
-      $ persistent_arg $ coarse_arg $ sw_arg $ naive_arg $ dump_ir_arg $ dump_asm_arg)
+      $ persistent_arg $ coarse_arg $ sw_arg $ naive_arg $ dump_ir_arg $ dump_asm_arg
+      $ check_arg $ ids_arg)
+
+let check_cmd =
+  let doc = "statically verify the aref protocol of compiled kernels (arefcheck)" in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const do_check $ file_arg $ kernel_arg $ d_arg $ p_arg $ coop_arg $ persistent_arg
+      $ coarse_arg)
 
 let run_cmd =
   let doc = "compile and execute kernels on the simulated H100" in
@@ -241,4 +306,7 @@ let run_cmd =
 
 let () =
   let doc = "Tawa: automatic warp specialization for (simulated) modern GPUs" in
-  exit (Cmd.eval' (Cmd.group (Cmd.info "tawac" ~doc ~version:"1.0.0") [ compile_cmd; run_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "tawac" ~doc ~version:"1.0.0")
+          [ compile_cmd; check_cmd; run_cmd ]))

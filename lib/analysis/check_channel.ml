@@ -1,0 +1,171 @@
+(** Channel-discipline check.
+
+    For every aref channel: exactly one producer partition, matching
+    get + consumed in each consumer partition, consistent slot indexing
+    (all sites address [it + c] with put/get offsets equal and releases
+    no earlier than reads), multicast only where declared, and releases
+    guarded whenever their offset can go negative. *)
+
+open Model
+
+let name = "channel-discipline"
+
+let err ?op ?values fmt = Diagnostic.error ~check:name ?op ?values fmt
+let warn ?op ?values fmt = Diagnostic.warning ~check:name ?op ?values fmt
+
+let chan_name (ch : channel) = Tawa_ir.Value.name ch.cvalue
+
+let check_channel (m : t) (ch : channel) : Diagnostic.t list =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let cname = chan_name ch in
+  let producer_parts = partitions_of ch.puts in
+  let consumer_parts = partitions_of ch.gets in
+  (* Liveness of the channel as a whole. *)
+  (match (ch.puts, ch.gets) with
+  | [], [] ->
+    add (warn ~op:ch.create ~values:[ ch.cvalue ] "channel %s is created but never used" cname)
+  | [], _ :: _ ->
+    add
+      (err ~op:ch.create ~values:[ ch.cvalue ]
+         "channel %s is read (aref_get) but never written (no aref_put)" cname)
+  | _ :: _, [] ->
+    add
+      (warn ~op:ch.create ~values:[ ch.cvalue ]
+         "channel %s is written but never read; puts will fill the ring and block" cname)
+  | _ -> ());
+  (* Exactly one producer partition. *)
+  (match producer_parts with
+  | [] | [ _ ] -> ()
+  | ps ->
+    add
+      (err ~op:ch.create ~values:[ ch.cvalue ]
+         "channel %s has %d producer partitions (%s); aref channels are single-producer"
+         cname (List.length ps)
+         (String.concat ", " (List.map string_of_int ps))));
+  (* A partition must not both produce and consume the same channel. *)
+  List.iter
+    (fun p ->
+      if List.mem p consumer_parts then
+        add
+          (err ~op:ch.create ~values:[ ch.cvalue ]
+             "partition %d both puts and gets channel %s; producer and consumer \
+              must be distinct warp groups"
+             p cname))
+    producer_parts;
+  (* Multicast only where declared. *)
+  if List.length consumer_parts > ch.multicast then
+    add
+      (err ~op:ch.create ~values:[ ch.cvalue ]
+         "channel %s is consumed by %d partitions but declares multicast = %d"
+         cname (List.length consumer_parts) ch.multicast);
+  (* Per consumer partition: gets must be paired with consumeds. *)
+  let release_parts = partitions_of ch.consumeds in
+  List.iter
+    (fun p ->
+      if not (List.mem p release_parts) then
+        let g = List.find (fun s -> s.partition = p) ch.gets in
+        add
+          (err ~op:g.s_op ~values:[ ch.cvalue ]
+             "partition %d gets from channel %s but never releases it \
+              (missing aref_consumed); the producer will deadlock once the \
+              ring fills"
+             p cname))
+    consumer_parts;
+  List.iter
+    (fun p ->
+      if not (List.mem p consumer_parts) then
+        let c = List.find (fun s -> s.partition = p) ch.consumeds in
+        add
+          (err ~op:c.s_op ~values:[ ch.cvalue ]
+             "partition %d releases channel %s (aref_consumed) without ever \
+              getting from it"
+             p cname))
+    release_parts;
+  (* At most one get per (partition, loop iteration). *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun g ->
+      let key = (g.partition, g.loop_oid) in
+      match Hashtbl.find_opt seen key with
+      | Some (prev : site) ->
+        add
+          (err ~op:g.s_op ~values:[ ch.cvalue ]
+             "double aref_get on channel %s in partition %d within one \
+              iteration (previous get: op id %d); each iteration may get a \
+              slot once"
+             cname g.partition prev.s_op.Tawa_ir.Op.oid)
+      | None -> Hashtbl.replace seen key g)
+    ch.gets;
+  (* Slot indexing: affine sites of the pipelined main loop must agree.
+     Drain-loop / opaque sites are skipped — they index through their own
+     IV and are covered dynamically by lib/aref/semantics.ml. *)
+  let main_affine sites =
+    affine_offsets (List.filter (fun s -> in_main_loop m s) sites)
+  in
+  let put_off =
+    match main_affine ch.puts with
+    | [] -> None
+    | (p0, c0) :: rest ->
+      List.iter
+        (fun (p, c) ->
+          if c <> c0 then
+            add
+              (err ~op:p.s_op ~values:[ ch.cvalue ]
+                 "inconsistent put slot offsets on channel %s: it%+d vs it%+d"
+                 cname c c0))
+        rest;
+      ignore p0;
+      Some c0
+  in
+  (match put_off with
+  | None -> ()
+  | Some pc ->
+    List.iter
+      (fun (g, gc) ->
+        if gc <> pc then
+          add
+            (err ~op:g.s_op ~values:[ ch.cvalue ]
+               "slot skew on channel %s: aref_get addresses it%+d but puts \
+                fill it%+d; the consumer reads a slot the producer never \
+                fills this iteration"
+               cname gc pc))
+      (main_affine ch.gets));
+  (* Release offset vs read offset, per consumer partition. *)
+  List.iter
+    (fun (c, cc) ->
+      match
+        List.find_opt (fun (g, _) -> g.partition = c.partition) (main_affine ch.gets)
+      with
+      | None -> ()
+      | Some (g, gc) ->
+        if cc > gc then
+          add
+            (err ~op:c.s_op ~values:[ ch.cvalue ]
+               "channel %s: partition %d releases slot it%+d before reading \
+                it (get addresses it%+d); the producer may overwrite live data"
+               cname c.partition cc gc)
+        else if cc = gc && c.seq < g.seq then
+          add
+            (err ~op:c.s_op ~values:[ ch.cvalue ]
+               "channel %s: aref_consumed precedes aref_get for the same slot \
+                (it%+d) in partition %d"
+               cname cc c.partition))
+    (main_affine ch.consumeds);
+  (* Negative slots need an [it >= -c] guard. *)
+  List.iter
+    (fun s ->
+      match s.slot with
+      | Affine c when c < 0 && in_main_loop m s ->
+        if (not s.guard_unknown) && s.guard_min_it < -c then
+          add
+            (err ~op:s.s_op ~values:[ ch.cvalue ]
+               "%s on channel %s addresses slot it%+d but is only guarded for \
+                it >= %d; the slot index goes negative in early iterations"
+               (kind_to_string s.kind) cname c s.guard_min_it)
+      | _ -> ())
+    (ch.puts @ ch.gets @ ch.consumeds);
+  List.rev !ds
+
+let run (m : t) : Diagnostic.t list =
+  List.concat_map (check_channel m) m.channels

@@ -1,0 +1,193 @@
+(** Deadlock check: ring capacity and startup progress.
+
+    Two complementary analyses over the {!Model.t}:
+
+    - {b capacity}: along the pipelined main loop, the number of slots a
+      consumer holds before releasing ([get offset - consumed offset])
+      must fit in the ring; a lag of P needs depth D >= P or the
+      producer blocks forever once the pipeline fills.
+
+    - {b startup simulation}: abstract-execute one unguarded pass over
+      each partition's channel ops, round-robin, with the semantics of
+      [lib/aref/semantics.ml] (put blocks on a full ring, get blocks on
+      an empty one, consumed needs a prior get). If no interleaving
+      makes every partition finish its first iteration, the
+      partition/channel wait graph has a cycle — e.g. two rings read in
+      opposite orders by two partitions — and the kernel is rejected. *)
+
+open Model
+
+let name = "deadlock"
+
+let err ?op ?values fmt = Diagnostic.error ~check:name ?op ?values fmt
+
+let chan_name (ch : channel) = Tawa_ir.Value.name ch.cvalue
+
+(* ------------------------------------------------------------------ *)
+(* Capacity along the main loop                                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_capacity (m : t) (ch : channel) : Diagnostic.t list =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  if ch.depth < 1 then
+    add (err ~op:ch.create ~values:[ ch.cvalue ]
+           "channel %s has ring depth %d; at least one slot is required"
+           (chan_name ch) ch.depth);
+  let main_affine sites =
+    affine_offsets (List.filter (fun s -> in_main_loop m s) sites)
+  in
+  (* Per consumer partition: steady-state slots held = get - consumed. *)
+  List.iter
+    (fun (c, cc) ->
+      match
+        List.find_opt (fun (g, _) -> g.partition = c.partition) (main_affine ch.gets)
+      with
+      | None -> ()
+      | Some (_, gc) ->
+        let lag = gc - cc in
+        if lag > ch.depth then
+          add
+            (err ~op:c.s_op ~values:[ ch.cvalue ]
+               "channel %s: partition %d holds %d slots in flight (get at \
+                it%+d, release at it%+d) but the ring has only %d; the \
+                producer can never fill slot it%+d — need depth >= %d"
+               (chan_name ch) c.partition lag gc cc ch.depth gc lag))
+    (main_affine ch.consumeds);
+  (* More puts per iteration than slots can never drain. *)
+  let per_loop = Hashtbl.create 4 in
+  List.iter
+    (fun (p, _) ->
+      let key = (p.partition, p.loop_oid) in
+      Hashtbl.replace per_loop key (1 + Option.value (Hashtbl.find_opt per_loop key) ~default:0))
+    (main_affine ch.puts);
+  Hashtbl.iter
+    (fun _ n ->
+      if n > ch.depth then
+        add
+          (err ~op:ch.create ~values:[ ch.cvalue ]
+             "channel %s: %d puts per loop iteration exceed ring depth %d"
+             (chan_name ch) n ch.depth))
+    per_loop;
+  List.rev !ds
+
+(* ------------------------------------------------------------------ *)
+(* Startup simulation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type chan_state = {
+  ch : channel;
+  idx : int;
+  mutable puts_done : int;
+  (* Per partition: completed gets / consumeds during the first pass. *)
+  gets_done : (int, int) Hashtbl.t;
+  cons_done : (int, int) Hashtbl.t;
+  assume_put : bool;
+      (** some put site is guarded away, unanalyzable or outside the
+          warp group — treat the channel as externally fed rather than
+          report a spurious deadlock *)
+}
+
+let count tbl p = Option.value (Hashtbl.find_opt tbl p) ~default:0
+let incr_count tbl p = Hashtbl.replace tbl p (count tbl p + 1)
+
+let check_startup (m : t) : Diagnostic.t list =
+  if m.num_partitions = 0 then []
+  else begin
+    (* Sites that run unconditionally on the first pass. *)
+    let first_pass s = s.guard_min_it <= 0 && not s.guard_unknown in
+    let states =
+      List.mapi
+        (fun idx ch ->
+          let assume_put =
+            List.exists
+              (fun p -> (not (first_pass p)) || p.partition < 0 || p.partition >= m.num_partitions)
+              ch.puts
+          in
+          ( ch.cvalue,
+            { ch; idx; puts_done = 0; gets_done = Hashtbl.create 4;
+              cons_done = Hashtbl.create 4; assume_put } ))
+        m.channels
+    in
+    let state_of v =
+      List.find_map
+        (fun (cv, st) -> if Tawa_ir.Value.equal cv v then Some st else None)
+        states
+    in
+    let progs =
+      Array.map (fun sites -> Array.of_list (List.filter first_pass sites))
+        m.sites_by_partition
+    in
+    let pcs = Array.make m.num_partitions 0 in
+    (* Consumer partitions of a channel = those with release sites; the
+       ring frees a slot only when every declared reader has released. *)
+    let released st =
+      let parts = partitions_of st.ch.consumeds in
+      match parts with
+      | [] -> 0
+      | ps -> List.fold_left (fun acc p -> min acc (count st.cons_done p)) max_int ps
+    in
+    let can_run (s : site) =
+      match s.s_op.Tawa_ir.Op.operands with
+      | aref :: _ -> (
+        match state_of aref with
+        | None -> true (* unknown channel: no blocking model *)
+        | Some st -> (
+          match s.kind with
+          | Put -> st.puts_done - released st < st.ch.depth
+          | Get -> st.assume_put || count st.gets_done s.partition < st.puts_done
+          | Consumed -> count st.cons_done s.partition < count st.gets_done s.partition))
+      | [] -> true
+    in
+    let step (s : site) =
+      match s.s_op.Tawa_ir.Op.operands with
+      | aref :: _ -> (
+        match state_of aref with
+        | None -> ()
+        | Some st -> (
+          match s.kind with
+          | Put -> st.puts_done <- st.puts_done + 1
+          | Get -> incr_count st.gets_done s.partition
+          | Consumed -> incr_count st.cons_done s.partition))
+      | [] -> ()
+    in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      Array.iteri
+        (fun p sites ->
+          while pcs.(p) < Array.length sites && can_run sites.(pcs.(p)) do
+            step sites.(pcs.(p));
+            pcs.(p) <- pcs.(p) + 1;
+            progress := true
+          done)
+        progs
+    done;
+    let stuck =
+      Array.to_list progs
+      |> List.mapi (fun p sites ->
+             if pcs.(p) < Array.length sites then Some (p, sites.(pcs.(p))) else None)
+      |> List.filter_map Fun.id
+    in
+    match stuck with
+    | [] -> []
+    | _ ->
+      let describe (p, (s : site)) =
+        let cname =
+          match s.s_op.Tawa_ir.Op.operands with
+          | aref :: _ -> Tawa_ir.Value.name aref
+          | [] -> "?"
+        in
+        Printf.sprintf "partition %d blocks at %s on channel %s" p
+          (kind_to_string s.kind) cname
+      in
+      let _, (s0 : site) = List.hd stuck in
+      [ err ~op:s0.s_op
+          "startup deadlock: no interleaving lets every partition complete \
+           its first iteration; the partition/channel wait graph has a cycle \
+           (%s)"
+          (String.concat "; " (List.map describe stuck)) ]
+  end
+
+let run (m : t) : Diagnostic.t list =
+  List.concat_map (check_capacity m) m.channels @ check_startup m

@@ -1,0 +1,121 @@
+(** Mbarrier phase check over lowered ISA programs.
+
+    Codegen pairs each barrier so that the arriving and waiting streams
+    alternate phases: empty-barriers are arrived by the consumer
+    (consumed) and waited by the producer (put), full-barriers are
+    arrived by TMA completion and waited by the consumer (get). The one
+    legal same-stream pattern is a scratch load: [Tma_load] whose
+    completion barrier is waited immediately by the issuing stream, with
+    no [Mbar_arrive] anywhere.
+
+    This check validates the pairing structurally: every referenced
+    barrier is in range with a sane arrive count, every wait has some
+    arriver, and no stream both arrives and waits one barrier with
+    [Mbar_arrive] (that parity can never advance: the stream would be
+    arriving its own wait target). *)
+
+open Tawa_machine
+
+let name = "mbarrier-phase"
+
+let err fmt = Diagnostic.error ~check:name fmt
+let warn fmt = Diagnostic.warning ~check:name fmt
+
+(* Resolve a barrier reference to a base when the index is static, or
+   attribute dynamic ring indexing to the base barrier. *)
+let base_of (r : Isa.mbar_ref) =
+  match r.Isa.index with Isa.Imm i -> r.Isa.base + i | _ -> r.Isa.base
+
+let run (p : Isa.program) : Diagnostic.t list =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  let n = p.Isa.num_mbarriers in
+  if Array.length p.Isa.mbar_arrive_counts <> n then
+    add
+      (err "program %s declares %d mbarriers but %d arrive counts" p.Isa.name n
+         (Array.length p.Isa.mbar_arrive_counts));
+  (* Which streams touch which barrier, by stream index. *)
+  let arrives = Hashtbl.create 16 and waits = Hashtbl.create 16 in
+  let tma_fulls = Hashtbl.create 16 in
+  let touch tbl base si =
+    let prev = Option.value (Hashtbl.find_opt tbl base) ~default:[] in
+    if not (List.mem si prev) then Hashtbl.replace tbl base (si :: prev)
+  in
+  let check_range what (r : Isa.mbar_ref) =
+    (match r.Isa.index with
+    | Isa.Imm i when i < 0 ->
+      add (err "%s in program %s has negative mbarrier index %d" what p.Isa.name i)
+    | _ -> ());
+    let b = base_of r in
+    if b < 0 || b >= n then
+      add
+        (err "%s in program %s references mbarrier %d; the program allocates \
+              only %d (0..%d)"
+           what p.Isa.name b n (n - 1))
+  in
+  List.iteri
+    (fun si (st : Isa.stream) ->
+      Array.iter
+        (fun (i : Isa.instr) ->
+          match i with
+          | Isa.Mbar_arrive r ->
+            check_range "mbar_arrive" r;
+            touch arrives (base_of r) si
+          | Isa.Mbar_wait { bar; _ } ->
+            check_range "mbar_wait" bar;
+            touch waits (base_of bar) si
+          | Isa.Tma_load { full; _ } ->
+            check_range "tma_load.full" full;
+            touch tma_fulls (base_of full) si
+          | _ -> ())
+        st.Isa.instrs)
+    p.Isa.streams;
+  let stream_name si =
+    match List.nth_opt p.Isa.streams si with
+    | Some st -> Printf.sprintf "%d (%s)" si (Tawa_ir.Op.role_to_string st.Isa.role)
+    | None -> string_of_int si
+  in
+  (* Referenced barriers need a positive arrive count. *)
+  let referenced b =
+    Hashtbl.mem arrives b || Hashtbl.mem waits b || Hashtbl.mem tma_fulls b
+  in
+  Array.iteri
+    (fun b c ->
+      if c < 1 && referenced b then
+        add (err "mbarrier %d in program %s is used but has arrive count %d" b p.Isa.name c))
+    p.Isa.mbar_arrive_counts;
+  (* Every wait needs an arriver somewhere (thread or TMA completion). *)
+  Hashtbl.iter
+    (fun b waiters ->
+      if not (Hashtbl.mem arrives b || Hashtbl.mem tma_fulls b) then
+        add
+          (err "mbarrier %d in program %s is waited on (by stream %s) but no \
+                instruction ever arrives it; the wait hangs"
+             b p.Isa.name
+             (String.concat ", " (List.map stream_name (List.sort compare waiters)))))
+    waits;
+  (* Arrive with no waiter: a lost signal, likely a pairing bug. *)
+  Hashtbl.iter
+    (fun b _ ->
+      if not (Hashtbl.mem waits b) then
+        add (warn "mbarrier %d in program %s is arrived but never waited on" b p.Isa.name))
+    arrives;
+  (* A stream thread-arriving a barrier it also waits can never flip the
+     phase it is blocked on. (TMA arriving the issuing stream's wait is
+     the scratch-load pattern and is fine.) *)
+  Hashtbl.iter
+    (fun b arr_streams ->
+      match Hashtbl.find_opt waits b with
+      | None -> ()
+      | Some wait_streams ->
+        List.iter
+          (fun si ->
+            if List.mem si wait_streams then
+              add
+                (err "stream %s both arrives and waits mbarrier %d in program \
+                      %s; arrive/wait must pair across streams (phase parity \
+                      self-deadlock)"
+                   (stream_name si) b p.Isa.name))
+          (List.sort compare arr_streams))
+    arrives;
+  List.rev !ds

@@ -1,0 +1,78 @@
+(** Cross-partition race check.
+
+    Warp groups run concurrently: an SSA value defined inside one
+    [tawa.warp_group] region and used in another reaches the consumer
+    without synchronization unless it flows through an aref channel
+    (the only values legally crossing are the channel handles
+    themselves, defined outside the warp group). Any other cross-region
+    use is a data race in the lowered program. *)
+
+open Tawa_ir
+
+let name = "race"
+
+(* Partition index owning each value defined inside the warp group:
+   op results and block params alike (loop IVs, region carries). *)
+let home_table (wg : Op.op) =
+  let home = Value.Tbl.create 128 in
+  List.iteri
+    (fun i (r : Op.region) ->
+      let claim v = Value.Tbl.replace home v i in
+      let rec go_region (r : Op.region) =
+        List.iter
+          (fun (b : Op.block) ->
+            List.iter claim b.Op.params;
+            List.iter
+              (fun (op : Op.op) ->
+                List.iter claim op.Op.results;
+                List.iter go_region op.Op.regions)
+              b.Op.ops)
+          r.Op.blocks
+      in
+      go_region r)
+    wg.Op.regions;
+  home
+
+let run (k : Kernel.t) : Diagnostic.t list =
+  match Kernel.find_warp_group k with
+  | None -> []
+  | Some wg ->
+    let home = Value.Tbl.find_opt (home_table wg) in
+    let ds = ref [] in
+    let flag ~user_partition (op : Op.op) v def_p =
+      ds :=
+        Diagnostic.error ~check:name ~op ~values:[ v ]
+          "value %s is defined in warp-group partition %d but used in %s \
+           without flowing through an aref channel; concurrent warp groups \
+           share no synchronized registers"
+          (Value.name v) def_p
+          (if user_partition >= 0 then
+             Printf.sprintf "partition %d" user_partition
+           else "code outside the warp group")
+        :: !ds
+    in
+    let check_uses ~partition (op : Op.op) =
+      List.iter
+        (fun v ->
+          match home v with
+          | Some def_p when def_p <> partition -> flag ~user_partition:partition op v def_p
+          | _ -> ())
+        op.Op.operands
+    in
+    (* Inside the warp group: each region knows its own index. *)
+    List.iteri
+      (fun i (r : Op.region) ->
+        Op.iter_region (check_uses ~partition:i) r)
+      wg.Op.regions;
+    (* Outside: anything using a region-defined value escaped the group.
+       Don't descend into the warp group itself. *)
+    let rec go_block (b : Op.block) =
+      List.iter
+        (fun (op : Op.op) ->
+          check_uses ~partition:(-1) op;
+          if op.Op.oid <> wg.Op.oid then
+            List.iter (fun (r : Op.region) -> List.iter go_block r.Op.blocks) op.Op.regions)
+        b.Op.ops
+    in
+    List.iter go_block k.Kernel.body.Op.blocks;
+    List.rev !ds

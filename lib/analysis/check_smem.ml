@@ -1,0 +1,44 @@
+(** Shared-memory capacity lint over lowered ISA programs.
+
+    Ring buffers multiply tile footprints by depth D, so an innocuous
+    [-d] bump can silently exceed the 227 KiB/SM budget of
+    {!Tawa_machine.Resources}. Errors above capacity, warns above 90%. *)
+
+open Tawa_machine
+
+let name = "smem-capacity"
+
+let run (p : Isa.program) : Diagnostic.t list =
+  let ds = ref [] in
+  let add d = ds := d :: !ds in
+  List.iter
+    (fun (a : Isa.alloc) ->
+      if a.Isa.slots <= 0 || a.Isa.bytes_per_slot <= 0 then
+        add
+          (Diagnostic.error ~check:name
+             "degenerate SMEM allocation %d (%s) in program %s: %d slots x %d \
+              bytes"
+             a.Isa.alloc_id a.Isa.label p.Isa.name a.Isa.slots a.Isa.bytes_per_slot))
+    p.Isa.allocs;
+  let used = Isa.smem_bytes p in
+  let cap = Resources.smem_capacity_bytes in
+  let breakdown () =
+    String.concat ", "
+      (List.map
+         (fun (a : Isa.alloc) ->
+           Printf.sprintf "%s: %d x %d B" a.Isa.label a.Isa.slots a.Isa.bytes_per_slot)
+         p.Isa.allocs)
+  in
+  if used > cap then
+    add
+      (Diagnostic.error ~check:name
+         "program %s needs %d bytes of shared memory but the SM has %d (%s); \
+          reduce tile sizes or ring depth"
+         p.Isa.name used cap (breakdown ()))
+  else if used * 10 > cap * 9 then
+    add
+      (Diagnostic.warning ~check:name
+         "program %s uses %d of %d shared-memory bytes (>90%%); little \
+          headroom left (%s)"
+         p.Isa.name used cap (breakdown ()));
+  List.rev !ds

@@ -1,0 +1,57 @@
+(** Structured diagnostics for the arefcheck static analyses.
+
+    Every check reports through this type so the CLI, the pass manager
+    and the tests all see the same shape: which check fired, how severe
+    the finding is, the offending op/values (by stable id, so reports
+    can be correlated with [tawac compile --dump-ir --ids]), and a
+    human-readable message. *)
+
+open Tawa_ir
+
+type severity = Error | Warning
+
+type t = {
+  check : string;  (** name of the check that produced this,
+                       e.g. ["channel-discipline"] *)
+  severity : severity;
+  op : Op.op option;      (** offending op, if one can be pinpointed *)
+  values : Value.t list;  (** SSA values involved *)
+  message : string;
+}
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let mk ~check ~severity ?op ?(values = []) fmt =
+  Format.kasprintf (fun message -> { check; severity; op; values; message }) fmt
+
+let error ~check ?op ?values fmt = mk ~check ~severity:Error ?op ?values fmt
+let warning ~check ?op ?values fmt = mk ~check ~severity:Warning ?op ?values fmt
+
+let is_error d = d.severity = Error
+let errors ds = List.filter is_error ds
+
+(* Render the offending op with stable ids so the report lines up with
+   the [--ids] IR dump. Ops carrying regions (loops, warp groups) are
+   abbreviated to "name {id = N}": printing whole bodies would drown
+   the message. *)
+let op_ref (op : Op.op) =
+  if op.Op.regions = [] then String.trim (Printer.op_to_string ~ids:true op)
+  else Printf.sprintf "%s {id = %d}" (Op.opcode_name op.Op.opcode) op.Op.oid
+
+let to_string (d : t) =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "%s[%s]: %s" (severity_to_string d.severity) d.check d.message);
+  (match d.op with
+  | Some op -> Buffer.add_string b (Printf.sprintf "\n  at: %s" (op_ref op))
+  | None -> ());
+  (match d.values with
+  | [] -> ()
+  | vs ->
+    Buffer.add_string b
+      (Printf.sprintf "\n  values: %s" (String.concat ", " (List.map Value.name vs))));
+  Buffer.contents b
+
+let report ds = String.concat "\n" (List.map to_string ds)
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)

@@ -66,6 +66,22 @@ let hit kernel (e : cache_entry) options =
     options;
   }
 
+(** Run every arefcheck analysis on a compiled kernel: the IR-level
+    protocol checks on the transformed kernel plus the ISA-level
+    mbarrier/SMEM checks on the lowered program. *)
+let check_compiled (c : compiled) : Tawa_analysis.Diagnostic.t list =
+  Tawa_analysis.Arefcheck.check_kernel c.transformed
+  @ Tawa_analysis.Arefcheck.check_program c.program
+
+(* With [TAWA_CHECK] set, every compile — including cache hits, which
+   skip the pass manager's own checks — is verified end to end. *)
+let maybe_env_check (c : compiled) =
+  if Tawa_analysis.Arefcheck.enabled_via_env () then
+    ignore
+      (Tawa_analysis.Arefcheck.assert_clean ~what:c.source.Kernel.name
+         (check_compiled c));
+  c
+
 (** Compile a frontend kernel through the full Tawa pipeline.
     Memoized on (kernel fingerprint, options): repeated compiles of a
     structurally identical kernel return the cached program. *)
@@ -88,7 +104,7 @@ let compile ?(options = default_options) (kernel : Kernel.t) : compiled =
         { e_transformed = r.Manager.kernel; e_program = program;
           e_ws = r.Manager.warp_specialized; e_coarse = r.Manager.coarse })
   in
-  hit kernel e options
+  maybe_env_check (hit kernel e options)
 
 (** Compile with the Triton-style Ampere software pipeline instead of
     warp specialization (the paper's Triton baseline). *)
@@ -101,7 +117,7 @@ let compile_sw_pipelined ?(stages = 3) (kernel : Kernel.t) : compiled =
         { e_transformed = transformed; e_program = Codegen.lower transformed;
           e_ws = false; e_coarse = false })
   in
-  hit kernel e { default_options with aref_depth = stages }
+  maybe_env_check (hit kernel e { default_options with aref_depth = stages })
 
 (** Compile without any pipelining or asynchrony (naive global loads) —
     the "w/o WS" baseline of the Fig. 12 ablation. *)
@@ -116,7 +132,7 @@ let compile_naive (kernel : Kernel.t) : compiled =
               kernel;
           e_ws = false; e_coarse = false })
   in
-  hit kernel e default_options
+  maybe_env_check (hit kernel e default_options)
 
 (** Compile without warp specialization but with synchronous TMA
     (loads wait immediately; no overlap). *)
@@ -127,7 +143,7 @@ let compile_sync_tma (kernel : Kernel.t) : compiled =
         { e_transformed = kernel; e_program = Codegen.lower kernel;
           e_ws = false; e_coarse = false })
   in
-  hit kernel e default_options
+  maybe_env_check (hit kernel e default_options)
 
-let dump_ir (c : compiled) = Printer.kernel_to_string c.transformed
+let dump_ir ?ids (c : compiled) = Printer.kernel_to_string ?ids c.transformed
 let dump_asm (c : compiled) = Isa.program_to_string c.program

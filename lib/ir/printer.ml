@@ -1,5 +1,10 @@
 (** MLIR-flavoured textual rendering of kernels, used by [tawac
-    --dump-ir], the examples, and golden tests. *)
+    --dump-ir], the examples, and golden tests.
+
+    With [~ids:true] every op line additionally carries an [{id = N}]
+    attribute holding the op's stable id, so diagnostics that name an
+    op (the arefcheck reports of {!Tawa_analysis}) can be correlated
+    with the dumped IR. Value names always embed their SSA id. *)
 
 open Format
 
@@ -28,7 +33,7 @@ let intrinsic_attrs (opcode : Op.opcode) =
   | Op.Wgmma_wait p -> [ ("pendings", Op.Attr_int p) ]
   | _ -> []
 
-let rec pp_op indent fmt (op : Op.op) =
+let rec pp_op_gen ~ids indent fmt (op : Op.op) =
   let pad = String.make indent ' ' in
   fprintf fmt "%s" pad;
   (match op.results with
@@ -42,7 +47,9 @@ let rec pp_op indent fmt (op : Op.op) =
     fprintf fmt "%s" (Op.opcode_name op.opcode);
     if op.operands <> [] then
       fprintf fmt " %s" (String.concat ", " (List.map Value.name op.operands)));
-  pp_attrs fmt (intrinsic_attrs op.opcode @ op.attrs);
+  pp_attrs fmt
+    (intrinsic_attrs op.opcode @ op.attrs
+    @ (if ids then [ ("id", Op.Attr_int op.oid) ] else []));
   (* Result types. *)
   (match op.results with
   | [] -> ()
@@ -58,12 +65,12 @@ let rec pp_op indent fmt (op : Op.op) =
          match op.opcode with
          | Op.If -> fprintf fmt "%s} else {@." pad
          | _ -> fprintf fmt "%s} partition %d {@." pad i);
-      pp_region (indent + 2) fmt r)
+      pp_region_gen ~ids (indent + 2) fmt r)
     op.regions;
   if op.regions <> [] then fprintf fmt "%s}" pad;
   fprintf fmt "@."
 
-and pp_block indent fmt (b : Op.block) =
+and pp_block_gen ~ids indent fmt (b : Op.block) =
   let pad = String.make indent ' ' in
   if b.params <> [] then
     fprintf fmt "%s^bb(%s):@." pad
@@ -71,19 +78,26 @@ and pp_block indent fmt (b : Op.block) =
          (List.map
             (fun p -> Printf.sprintf "%s: %s" (Value.name p) (Types.to_string (Value.ty p)))
             b.params));
-  List.iter (pp_op indent fmt) b.ops
+  List.iter (pp_op_gen ~ids indent fmt) b.ops
 
-and pp_region indent fmt (r : Op.region) = List.iter (pp_block indent fmt) r.blocks
+and pp_region_gen ~ids indent fmt (r : Op.region) =
+  List.iter (pp_block_gen ~ids indent fmt) r.blocks
 
-let pp_kernel fmt (k : Kernel.t) =
+let pp_op indent fmt op = pp_op_gen ~ids:false indent fmt op
+let pp_block indent fmt b = pp_block_gen ~ids:false indent fmt b
+let pp_region indent fmt r = pp_region_gen ~ids:false indent fmt r
+
+let pp_kernel_gen ~ids fmt (k : Kernel.t) =
   fprintf fmt "kernel @%s(%s)%s {@." k.name
     (String.concat ", "
        (List.map
           (fun p -> Printf.sprintf "%s: %s" (Value.name p) (Types.to_string (Value.ty p)))
           k.params))
     (asprintf "%a" pp_attrs k.attrs);
-  pp_region 2 fmt k.body;
+  pp_region_gen ~ids 2 fmt k.body;
   fprintf fmt "}@."
 
-let kernel_to_string k = asprintf "%a" pp_kernel k
-let op_to_string op = asprintf "%a" (pp_op 0) op
+let pp_kernel fmt k = pp_kernel_gen ~ids:false fmt k
+
+let kernel_to_string ?(ids = false) k = asprintf "%a" (pp_kernel_gen ~ids) k
+let op_to_string ?(ids = false) op = asprintf "%a" (pp_op_gen ~ids 0) op

@@ -10,6 +10,7 @@ type options = {
   persistent : bool;         (* persistent kernel transform (§IV-B) *)
   use_coarse : bool;         (* coarse-grained T/C/U pipeline (§III-D.2) *)
   verify_each : bool;        (* run the verifier after every pass *)
+  check : bool;              (* run arefcheck on the partitioned IR *)
 }
 
 let default_options =
@@ -20,6 +21,7 @@ let default_options =
     persistent = false;
     use_coarse = false;
     verify_each = true;
+    check = false;
   }
 
 type trace_entry = { pass : string; ops_after : int; applied : bool }
@@ -44,8 +46,18 @@ let compile ?(options = default_options) (kernel : Kernel.t) : result =
   let trace = ref [] in
   let record pass k applied =
     trace := { pass; ops_after = Kernel.count_ops k; applied } :: !trace;
-    if options.verify_each && applied then Verifier.verify k;
+    (* Verify even when the pass did not apply: a no-op pass must not be
+       able to hide a malformed clone it produced along the way. *)
+    if options.verify_each then Verifier.verify k;
     k
+  in
+  let checking = options.check || Tawa_analysis.Arefcheck.enabled_via_env () in
+  let arefcheck stage k =
+    if checking then
+      ignore
+        (Tawa_analysis.Arefcheck.assert_clean
+           ~what:(Printf.sprintf "%s after %s" k.Kernel.name stage)
+           (Tawa_analysis.Arefcheck.check_kernel k))
   in
   let k = Kernel.clone kernel in
   ignore (Rewrite.canonicalize k);
@@ -65,6 +77,7 @@ let compile ?(options = default_options) (kernel : Kernel.t) : result =
       Log.debug (fun m -> m "warp specialization not applicable: %s" reason);
       (false, record "warp-specialize" k false)
   in
+  if ws then arefcheck "warp-specialize" k;
   let coarse, k =
     if ws && options.use_coarse then
       match Pipeline_coarse.apply k with
@@ -83,6 +96,7 @@ let compile ?(options = default_options) (kernel : Kernel.t) : result =
         record "fine-pipeline" k false
     else record "fine-pipeline" k false
   in
+  if ws then arefcheck "pipelining" k;
   if options.persistent then Kernel.set_attr k "persistent" (Op.Attr_bool true);
   Kernel.set_attr k "num_consumer_wgs" (Op.Attr_int options.num_consumer_wgs);
   { kernel = k; trace = List.rev !trace; warp_specialized = ws; coarse }

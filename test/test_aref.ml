@@ -269,6 +269,74 @@ let test_multicast_double_get_rejected () =
        false
      with Semantics.Protocol_error _ -> true)
 
+let test_multicast_straggler_blocks_slot_reuse () =
+  (* Depth 2: the producer can run two iterations ahead, but slot 0 is
+     only reusable for iter 2 once EVERY consumer has released iter 0.
+     Consumer 1 straggles while consumer 0 races ahead. *)
+  let m = Ring.Multicast.create ~depth:2 ~consumers:2 in
+  Alcotest.(check bool) "put 0" true (ok_unit (Ring.Multicast.put m ~iter:0 10));
+  Alcotest.(check bool) "put 1" true (ok_unit (Ring.Multicast.put m ~iter:1 11));
+  (* c0 drains both iterations. *)
+  (match Ring.Multicast.get m ~consumer:0 ~iter:0 with
+  | Semantics.Ok v -> Alcotest.(check int) "c0 iter0" 10 v
+  | Semantics.Blocked -> Alcotest.fail "c0 get 0");
+  ignore (Ring.Multicast.consumed m ~consumer:0 ~iter:0);
+  (match Ring.Multicast.get m ~consumer:0 ~iter:1 with
+  | Semantics.Ok v -> Alcotest.(check int) "c0 iter1" 11 v
+  | Semantics.Blocked -> Alcotest.fail "c0 get 1");
+  ignore (Ring.Multicast.consumed m ~consumer:0 ~iter:1);
+  (* Slot 0 still held by the straggler: iter 2 must not overwrite it. *)
+  Alcotest.(check bool) "put 2 blocks on straggler" true
+    (blocked (Ring.Multicast.put m ~iter:2 12));
+  (match Ring.Multicast.get m ~consumer:1 ~iter:0 with
+  | Semantics.Ok v -> Alcotest.(check int) "c1 still sees iter0" 10 v
+  | Semantics.Blocked -> Alcotest.fail "c1 get 0");
+  (* Read performed but not released: reuse is still forbidden. *)
+  Alcotest.(check bool) "put 2 blocks until release" true
+    (blocked (Ring.Multicast.put m ~iter:2 12));
+  ignore (Ring.Multicast.consumed m ~consumer:1 ~iter:0);
+  Alcotest.(check bool) "put 2 proceeds after release" true
+    (ok_unit (Ring.Multicast.put m ~iter:2 12))
+
+let test_multicast_get_resets_per_iteration () =
+  (* A recycled slot must clear its per-consumer read marks: one get per
+     consumer per ITERATION, not per slot lifetime. *)
+  let m = Ring.Multicast.create ~depth:1 ~consumers:1 in
+  ignore (Ring.Multicast.put m ~iter:0 7);
+  (match Ring.Multicast.get m ~consumer:0 ~iter:0 with
+  | Semantics.Ok v -> Alcotest.(check int) "iter0" 7 v
+  | Semantics.Blocked -> Alcotest.fail "get 0");
+  ignore (Ring.Multicast.consumed m ~consumer:0 ~iter:0);
+  ignore (Ring.Multicast.put m ~iter:1 8);
+  (* Same slot, new iteration: this get is legal, not a double get. *)
+  (match Ring.Multicast.get m ~consumer:0 ~iter:1 with
+  | Semantics.Ok v -> Alcotest.(check int) "iter1" 8 v
+  | Semantics.Blocked -> Alcotest.fail "get 1");
+  (* But a second get of the SAME iteration is a protocol error. *)
+  Alcotest.(check bool) "double get of iter1 raises" true
+    (try
+       ignore (Ring.Multicast.get m ~consumer:0 ~iter:1);
+       false
+     with Semantics.Protocol_error _ -> true)
+
+let test_multicast_release_discipline () =
+  let m = Ring.Multicast.create ~depth:1 ~consumers:2 in
+  ignore (Ring.Multicast.put m ~iter:0 1);
+  (* consumed before get is a protocol error, not a block. *)
+  Alcotest.(check bool) "consumed before get raises" true
+    (try
+       ignore (Ring.Multicast.consumed m ~consumer:1 ~iter:0);
+       false
+     with Semantics.Protocol_error _ -> true);
+  ignore (Ring.Multicast.get m ~consumer:0 ~iter:0);
+  ignore (Ring.Multicast.consumed m ~consumer:0 ~iter:0);
+  (* double consumed by the same consumer is likewise rejected. *)
+  Alcotest.(check bool) "double consumed raises" true
+    (try
+       ignore (Ring.Multicast.consumed m ~consumer:0 ~iter:0);
+       false
+     with Semantics.Protocol_error _ -> true)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let suites =
@@ -302,5 +370,10 @@ let suites =
       [
         Alcotest.test_case "all must release" `Quick test_multicast_all_consumers_must_release;
         Alcotest.test_case "double get rejected" `Quick test_multicast_double_get_rejected;
+        Alcotest.test_case "straggler blocks slot reuse" `Quick
+          test_multicast_straggler_blocks_slot_reuse;
+        Alcotest.test_case "get resets per iteration" `Quick
+          test_multicast_get_resets_per_iteration;
+        Alcotest.test_case "release discipline" `Quick test_multicast_release_discipline;
       ] );
   ]

@@ -8,11 +8,14 @@
 
    Flags:
      --json [PATH]   also write a machine-readable trajectory record
-                     (default PATH: BENCH_PR1.json). Each selected
-                     figure is timed twice: a sequential baseline
-                     (1 domain, compile cache disabled — the seed
-                     engine) and the parallel engine (domain pool +
-                     compile cache), so the JSON records the speedup.
+                     (default PATH: BENCH_PR4.json). Each selected
+                     figure is timed three times: the tree-walking
+                     reference engine on 1 domain, the decoded
+                     (closure-compiled) engine on 1 domain — isolating
+                     the pure engine speedup — and the decoded engine
+                     on the full domain pool (the composed speedup).
+                     Caches are cleared before each pass so every pass
+                     pays one compile+decode per distinct program.
      --domains N     override the worker-domain count (default:
                      TAWA_DOMAINS or Domain.recommended_domain_count)
      --seq           shorthand for --domains 1
@@ -564,19 +567,21 @@ let micro () =
 (* A grid-scale functional GEMM (4x4 CTAs of 128x128 tiles — far
    beyond the 16x16-tile grids the unit tests could afford before the
    domain pool). Checks (a) the parallel engine is bit-identical to
-   the sequential one, (b) the simulated output matches the reference
-   interpreter's tensors, and times both engines. *)
+   the sequential one, (b) the decoded engine is bit-identical to the
+   tree-walking reference, (c) the simulated output matches the
+   reference interpreter's tensors — and times all of them. *)
 let verify_grid () =
   section "Functional verification: 4x4x1 CTA grid, FP16 GEMM 512x512x128";
   let m = 512 and n = 512 and kk = 128 in
   let kernel = Kernels.gemm ~tiles ~dtype:Dtype.F16 () in
   let compiled = Flow.compile kernel in
   let grid = (m / tiles.Kernels.block_m, n / tiles.Kernels.block_n, 1) in
-  let run ~domains =
+  let run ~domains ~engine =
     let a = Tensor.random ~dtype:Dtype.F16 ~seed:11 [| m; kk |] in
     let b = Tensor.random ~dtype:Dtype.F16 ~seed:12 [| kk; n |] in
     let c = Tensor.create ~dtype:Dtype.F16 [| m; n |] in
     Pool.set_default_domains (Some domains);
+    Tawa_gpusim.Engine.set_forced engine;
     let t0 = Unix.gettimeofday () in
     let cycles =
       Launch.run_grid_functional ~cfg:Config.functional_test compiled.Flow.program
@@ -586,26 +591,32 @@ let verify_grid () =
         ~grid
     in
     let dt = Unix.gettimeofday () -. t0 in
+    Tawa_gpusim.Engine.set_forced None;
     (a, b, c, cycles, dt)
   in
   let domains = Pool.default_domains () in
-  let _, _, c_seq, cycles_seq, t_seq = run ~domains:1 in
-  let a, b, c_par, cycles_par, t_par = run ~domains in
+  let _, _, c_ref, cycles_ref, t_ref = run ~domains:1 ~engine:(Some Config.Reference) in
+  let _, _, c_seq, cycles_seq, t_seq = run ~domains:1 ~engine:(Some Config.Decoded) in
+  let a, b, c_par, cycles_par, t_par = run ~domains ~engine:(Some Config.Decoded) in
   Pool.set_default_domains None;
   let bit_identical = Tensor.equal c_seq c_par && cycles_seq = cycles_par in
+  let engines_identical = Tensor.equal c_ref c_seq && cycles_ref = cycles_seq in
   let reference = Reference.gemm ~out_dtype:Dtype.F16 a b in
   let rel = Tensor.max_rel_diff c_par reference in
-  let pass = bit_identical && rel <= 1e-2 in
-  pr "  sequential: %.2fs   parallel (%d domains): %.2fs   speedup %.2fx\n" t_seq domains
-    t_par (t_seq /. t_par);
-  pr "  bit-identical par-vs-seq: %b   max rel diff vs reference: %.2e   pass: %b\n"
-    bit_identical rel pass;
+  let pass = bit_identical && engines_identical && rel <= 1e-2 in
+  pr "  reference engine: %.2fs   decoded: %.2fs (%.2fx)   decoded x %d domains: %.2fs (%.2fx)\n"
+    t_ref t_seq (t_ref /. t_seq) domains t_par (t_ref /. t_par);
+  pr "  bit-identical par-vs-seq: %b   decoded-vs-reference: %b   max rel diff vs reference: %.2e   pass: %b\n"
+    bit_identical engines_identical rel pass;
   Json.Obj
     [ ("workload", Json.Str "gemm fp16 512x512x128, 4x4x1 grid, 128x128 tiles");
       ("domains", Json.Int domains);
+      ("reference_engine_seconds", Json.Float t_ref);
       ("sequential_seconds", Json.Float t_seq); ("parallel_seconds", Json.Float t_par);
+      ("engine_speedup", Json.Float (t_ref /. t_seq));
       ("speedup", Json.Float (t_seq /. t_par));
       ("bit_identical", Json.Bool bit_identical);
+      ("engines_bit_identical", Json.Bool engines_identical);
       ("max_rel_diff_vs_reference", Json.Float rel); ("pass", Json.Bool pass) ]
 
 (* ------------------------------------------------------------------ *)
@@ -614,41 +625,59 @@ let all_figures =
   [ ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
     ("fig12", fig12); ("extra", extra); ("micro", micro) ]
 
-(* In --json mode every figure runs twice: once as the seed engine
-   (1 domain, compile cache off, silent) for the baseline wall-clock,
-   then on the parallel engine for the reported tables. *)
+(* In --json mode every figure runs three times: the tree-walking
+   reference engine on 1 domain (silent), the decoded engine on 1
+   domain (silent) — the pure engine speedup — and the decoded engine
+   on the full domain pool for the reported tables. Caches are cleared
+   before each pass (and stay enabled), so every pass pays one
+   compile+decode per distinct program and the wall-clock difference is
+   the simulators'. *)
 type fig_result = {
   r_name : string;
-  r_seq : float;
-  r_par : float;
+  r_ref : float; (* reference engine, 1 domain *)
+  r_dec : float; (* decoded engine, 1 domain *)
+  r_par : float; (* decoded engine, domain pool *)
+  r_ref_instr : int; (* instructions retired by the reference pass *)
+  r_dec_instr : int;
   r_cache : Tawa_machine.Progcache.stats;
   r_data : Json.t;
 }
 
 let no_stats = { Tawa_machine.Progcache.hits = 0; misses = 0 }
 
+let timed_pass ~engine ~domains ~silent f =
+  Flow.clear_cache ();
+  Tawa_gpusim.Engine.clear_decode_cache ();
+  Tawa_gpusim.Engine.set_forced engine;
+  Pool.set_default_domains domains;
+  Tawa_gpusim.Engine.reset_instructions ();
+  quiet := silent;
+  let t0 = Unix.gettimeofday () in
+  let data = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  quiet := false;
+  Tawa_gpusim.Engine.set_forced None;
+  Pool.set_default_domains None;
+  (dt, Tawa_gpusim.Engine.instructions_retired (), data)
+
 let run_figure ~json (name, f) =
   if not json then begin
     ignore (f ());
-    { r_name = name; r_seq = 0.0; r_par = 0.0; r_cache = no_stats; r_data = Json.Null }
+    { r_name = name; r_ref = 0.0; r_dec = 0.0; r_par = 0.0; r_ref_instr = 0;
+      r_dec_instr = 0; r_cache = no_stats; r_data = Json.Null }
   end
   else begin
-    Flow.clear_cache ();
-    Tawa_machine.Progcache.set_enabled false;
-    Pool.set_default_domains (Some 1);
-    quiet := true;
-    let t0 = Unix.gettimeofday () in
-    ignore (f ());
-    let seq = Unix.gettimeofday () -. t0 in
-    quiet := false;
-    Flow.clear_cache ();
-    Tawa_machine.Progcache.set_enabled true;
-    Pool.set_default_domains None;
-    let t1 = Unix.gettimeofday () in
-    let data = f () in
-    let par = Unix.gettimeofday () -. t1 in
-    { r_name = name; r_seq = seq; r_par = par; r_cache = Flow.cache_stats ();
-      r_data = data }
+    let r_ref, r_ref_instr, _ =
+      timed_pass ~engine:(Some Config.Reference) ~domains:(Some 1) ~silent:true f
+    in
+    let r_dec, r_dec_instr, _ =
+      timed_pass ~engine:(Some Config.Decoded) ~domains:(Some 1) ~silent:true f
+    in
+    let r_par, _, data =
+      timed_pass ~engine:(Some Config.Decoded) ~domains:None ~silent:false f
+    in
+    { r_name = name; r_ref; r_dec; r_par; r_ref_instr; r_dec_instr;
+      r_cache = Flow.cache_stats (); r_data = data }
   end
 
 let () =
@@ -657,7 +686,7 @@ let () =
   let rec parse = function
     | [] -> ()
     | "--json" :: rest -> (
-      json := Some "BENCH_PR1.json";
+      json := Some "BENCH_PR4.json";
       match rest with
       | path :: rest' when String.length path > 0 && path.[0] <> '-' && not (List.mem_assoc path all_figures) ->
         json := Some path;
@@ -695,14 +724,18 @@ let () =
             misses = acc.Tawa_machine.Progcache.misses + r.r_cache.Tawa_machine.Progcache.misses })
         no_stats results
     in
-    let seq_total = List.fold_left (fun acc r -> acc +. r.r_seq) 0.0 results in
+    let ref_total = List.fold_left (fun acc r -> acc +. r.r_ref) 0.0 results in
+    let dec_total = List.fold_left (fun acc r -> acc +. r.r_dec) 0.0 results in
     let par_total = List.fold_left (fun acc r -> acc +. r.r_par) 0.0 results in
+    let ips i dt = if dt > 0.0 then Float.of_int i /. dt else 0.0 in
     let doc =
       Json.Obj
         [ ("schema", Json.Str "tawa-bench-trajectory/v1");
-          ("pr", Json.Int 1);
+          ("pr", Json.Int 4);
           ( "engine",
-            Json.Str "domain-pool parallel CTA simulation + compiled-program cache" );
+            Json.Str
+              "decode-once closure-compiled CTA engine + event-driven scheduler (over \
+               PR1's domain pool and compile cache)" );
           ( "host",
             Json.Obj
               [ ("cores", Json.Int (Domain.recommended_domain_count ()));
@@ -713,10 +746,17 @@ let () =
                  (fun r ->
                    Json.Obj
                      [ ("name", Json.Str r.r_name);
-                       ("sequential_seconds", Json.Float r.r_seq);
-                       ("parallel_seconds", Json.Float r.r_par);
-                       ( "speedup",
-                         Json.Float (if r.r_par > 0.0 then r.r_seq /. r.r_par else 1.0) );
+                       ("reference_seconds", Json.Float r.r_ref);
+                       ("decoded_seconds", Json.Float r.r_dec);
+                       ("decoded_parallel_seconds", Json.Float r.r_par);
+                       ( "engine_speedup",
+                         Json.Float (if r.r_dec > 0.0 then r.r_ref /. r.r_dec else 1.0) );
+                       ( "composed_speedup",
+                         Json.Float (if r.r_par > 0.0 then r.r_ref /. r.r_par else 1.0) );
+                       ( "reference_instructions_per_sec",
+                         Json.Float (ips r.r_ref_instr r.r_ref) );
+                       ( "decoded_instructions_per_sec",
+                         Json.Float (ips r.r_dec_instr r.r_dec) );
                        ( "compile_cache",
                          Json.Obj
                            [ ("hits", Json.Int r.r_cache.Tawa_machine.Progcache.hits);
@@ -730,10 +770,13 @@ let () =
                 ("misses", Json.Int cache_stats.Tawa_machine.Progcache.misses) ] );
           ( "totals",
             Json.Obj
-              [ ("sequential_seconds", Json.Float seq_total);
-                ("parallel_seconds", Json.Float par_total);
-                ( "speedup",
-                  Json.Float (if par_total > 0.0 then seq_total /. par_total else 1.0) ) ] ) ]
+              [ ("reference_seconds", Json.Float ref_total);
+                ("decoded_seconds", Json.Float dec_total);
+                ("decoded_parallel_seconds", Json.Float par_total);
+                ( "engine_speedup",
+                  Json.Float (if dec_total > 0.0 then ref_total /. dec_total else 1.0) );
+                ( "composed_speedup",
+                  Json.Float (if par_total > 0.0 then ref_total /. par_total else 1.0) ) ] ) ]
     in
     Json.to_file path doc;
     pr "\n[bench completed in %.1fs; trajectory written to %s]\n"

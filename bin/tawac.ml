@@ -129,14 +129,15 @@ let classify_signature (k : Kernel.t) =
   | [ q; kk; v; o; l ] when List.for_all is_ptr [ q; kk; v; o ] && is_i32 l -> `Attention
   | _ -> `Unknown
 
-let do_run path kernel_name d p coop persistent coarse sw naive m n kk l =
+let do_run path kernel_name d p coop persistent coarse sw naive m n kk l engine =
   try
     let mode =
       if naive then Naive else match sw with Some s -> Sw_pipeline s | None -> Tawa_ws
     in
     let options = options_of ~d ~p ~coop ~persistent ~coarse in
     let kernels = read_kernels path kernel_name in
-    let cfg = Config.functional_test in
+    let cfg = { Config.functional_test with Config.engine } in
+    let tcfg = { Config.h100 with Config.engine } in
     List.iter
       (fun k ->
         let c = compile_one ~mode ~options k in
@@ -176,7 +177,7 @@ let do_run path kernel_name d p coop persistent coarse sw naive m n kk l =
             (if diff < 1e-3 then "[OK]" else "[MISMATCH]");
           (* Timing estimate at the same shape. *)
           let t =
-            Launch.estimate ~cfg:Config.h100 c.Flow.program
+            Launch.estimate ~cfg:tcfg c.Flow.program
               ~params:[ Sim.Rnone; Sim.Rnone; Sim.Rnone; Sim.Rint m; Sim.Rint n; Sim.Rint kk ]
               ~grid:(m / tile_m, n / tile_n, 1)
               ~flops:(Reference.gemm_flops ~m ~n ~k:kk)
@@ -282,6 +283,16 @@ let n_arg = Arg.(value & opt int 64 & info [ "n" ] ~doc:"GEMM N.")
 let k_arg = Arg.(value & opt int 64 & info [ "k" ] ~doc:"GEMM K.")
 let l_arg = Arg.(value & opt int 64 & info [ "l" ] ~doc:"Attention sequence length.")
 
+let engine_arg =
+  let engine_conv =
+    Arg.enum
+      [ ("reference", Some Config.Reference); ("decoded", Some Config.Decoded) ]
+  in
+  Arg.(value & opt engine_conv None
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Simulator execution engine: $(b,decoded) (closure-compiled, the default) \
+                 or $(b,reference) (tree-walking oracle). Unset defers to \\$(b,TAWA_ENGINE).")
+
 let compile_cmd =
   let doc = "compile tile kernels through the Tawa pipeline" in
   Cmd.v (Cmd.info "compile" ~doc)
@@ -302,7 +313,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const do_run $ file_arg $ kernel_arg $ d_arg $ p_arg $ coop_arg $ persistent_arg
-      $ coarse_arg $ sw_arg $ naive_arg $ m_arg $ n_arg $ k_arg $ l_arg)
+      $ coarse_arg $ sw_arg $ naive_arg $ m_arg $ n_arg $ k_arg $ l_arg $ engine_arg)
 
 let () =
   let doc = "Tawa: automatic warp specialization for (simulated) modern GPUs" in

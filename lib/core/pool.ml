@@ -51,6 +51,14 @@ let default_domains () =
 (* True inside a pool worker; nested pools degrade to sequential. *)
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
+(* Lifetime count of helper domains spawned. On a 1-core host (or
+   TAWA_DOMAINS=1) this must stay 0: spawning a helper just to run the
+   whole range costs more than the sequential loop it replaces
+   (BENCH_PR1.json measured 0.95x). The tests pin this. *)
+let spawned = Atomic.make 0
+
+let domains_spawned () = Atomic.get spawned
+
 let resolve_domains domains n =
   if Domain.DLS.get in_worker then 1
   else
@@ -85,7 +93,11 @@ let run_indices ~domains ~n body =
         done;
         Domain.DLS.set in_worker false
       in
-      let helpers = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+      let helpers =
+        Array.init (domains - 1) (fun _ ->
+            Atomic.incr spawned;
+            Domain.spawn worker)
+      in
       worker ();
       Array.iter Domain.join helpers;
       match Atomic.get error with

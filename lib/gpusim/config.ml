@@ -10,6 +10,13 @@
 
 open Tawa_tensor
 
+(** Which CTA execution engine interprets the machine program.
+    [Reference] is the original tree-walking interpreter ({!Sim.step}),
+    kept as the semantic oracle; [Decoded] is the pre-decoded,
+    closure-compiled engine ({!Decode}/{!Engine}) that must agree with
+    it bit-for-bit on cycles, stats, and functional outputs. *)
+type engine = Reference | Decoded
+
 type t = {
   clock_ghz : float;
   num_sms : int;
@@ -34,6 +41,7 @@ type t = {
   smem_bytes_per_cycle : float;    (* lds/sts per WG *)
   stg_bytes_per_cycle : float;     (* register->GMEM store-out *)
   stg_latency : float;
+  ldg_bytes_per_cycle : float;     (* non-TMA gather (ablation baseline) *)
   (* synchronization *)
   mbar_cycles : float;             (* arrive / satisfied-wait cost *)
   fence_cycles : float;            (* CTA-wide bar.sync *)
@@ -51,6 +59,10 @@ type t = {
          fragments increase register pressure (§V-E, the P=3 droop) *)
   functional : bool;               (* carry real tile payloads *)
   collect_trace : bool;            (* record per-unit busy intervals *)
+  engine : engine option;
+      (* CTA execution engine; [None] defers to the [TAWA_ENGINE]
+         environment variable, then to the [Decoded] default (see
+         {!Engine.resolve}) *)
 }
 
 let h100 =
@@ -75,6 +87,7 @@ let h100 =
     smem_bytes_per_cycle = 256.0;
     stg_bytes_per_cycle = 64.0;
     stg_latency = 350.0;
+    ldg_bytes_per_cycle = 12.0;
     mbar_cycles = 12.0;
     fence_cycles = 40.0;
     workq_pop_cycles = 60.0;
@@ -84,6 +97,7 @@ let h100 =
     wgmma_depth_penalty = 20.0;
     functional = false;
     collect_trace = false;
+    engine = None;
   }
 
 (** Small, fully functional configuration for correctness tests. *)

@@ -1,0 +1,1254 @@
+(** Decode-once execution engine: closure-compiled instruction streams
+    over typed register planes.
+
+    {!Sim.step} is a tree-walking interpreter: every retired
+    instruction re-matches the [Isa.instr] variant, re-resolves operand
+    kinds, boxes every scalar in an {!Sim.rt} variant, hashes SMEM
+    slots, and recomputes tile costs from the config. This module
+    translates each stream ONCE into an array of OCaml closures
+    ([code = ectx -> wg -> unit]) with everything static folded at
+    decode time:
+
+    - immediates become captured constants; operand accessors are
+      pre-resolved per kind (no [value_of] dispatch at run time);
+    - the register file is split into typed planes — [int array],
+      [float array], [Bytes] bools, and a tensor/descriptor object
+      plane — with a tag byte per register, so scalar traffic never
+      allocates;
+    - tile costs, byte counts, wgmma durations' static factors, and
+      SMEM slot bases are pre-computed;
+    - the [(alloc, slot)] Hashtbl becomes a dense array indexed by
+      [alloc_base + slot] (with a Hashtbl fallback for out-of-range
+      slots so hand-built programs keep reference semantics).
+
+    Blocked warp groups register on the mbarrier/ring they wait on and
+    are re-enqueued by {!Mbarrier.arrive} via the barrier's notify
+    hook; the scheduler is a binary heap keyed [(time, index)] (see
+    {!Engine}), which reproduces the reference scheduler's
+    min-time/lowest-index selection exactly.
+
+    Everything here must stay BIT-IDENTICAL to {!Sim} — same float
+    expression shapes, same evaluation order, same error messages. The
+    differential suite ([test/test_engine.ml]) enforces this across
+    the example/frontend/fuzz corpus; when touching either engine,
+    touch both. *)
+
+open Tawa_tensor
+open Tawa_ir
+open Tawa_machine
+
+let err fmt = Format.kasprintf (fun s -> raise (Sim.Sim_error s)) fmt
+
+(* ----------------------- typed register planes -------------------- *)
+
+(* Tag byte per register selecting the authoritative plane. Registers
+   default to tag 0 / int 0, matching the reference file's [Rint 0]
+   fill. *)
+let t_int = '\000'
+let t_float = '\001'
+let t_bool = '\002'
+let t_tensor = '\003'
+let t_desc = '\004'
+let t_none = '\005'
+
+type objv = Onone | Otensor of Tensor.t | Odesc of Sim.desc
+
+type planes = {
+  mutable cap : int;
+  mutable tags : Bytes.t;
+  mutable ints : int array;
+  mutable floats : float array;
+  mutable bools : Bytes.t;
+  mutable objs : objv array;
+}
+
+let make_planes n =
+  let n = max 1 n in
+  {
+    cap = n;
+    tags = Bytes.make n t_int;
+    ints = Array.make n 0;
+    floats = Array.make n 0.0;
+    bools = Bytes.make n '\000';
+    objs = Array.make n Onone;
+  }
+
+(* Grow all planes to cover register [r]; fresh registers read as
+   int 0, like the reference file's growth fill. *)
+let grow p r =
+  let cap = max (2 * p.cap) (r + 1) in
+  let tags = Bytes.make cap t_int in
+  Bytes.blit p.tags 0 tags 0 p.cap;
+  let ints = Array.make cap 0 in
+  Array.blit p.ints 0 ints 0 p.cap;
+  let floats = Array.make cap 0.0 in
+  Array.blit p.floats 0 floats 0 p.cap;
+  let bools = Bytes.make cap '\000' in
+  Bytes.blit p.bools 0 bools 0 p.cap;
+  let objs = Array.make cap Onone in
+  Array.blit p.objs 0 objs 0 p.cap;
+  p.cap <- cap;
+  p.tags <- tags;
+  p.ints <- ints;
+  p.floats <- floats;
+  p.bools <- bools;
+  p.objs <- objs
+
+let tag_of p r = if r < p.cap then Bytes.get p.tags r else t_int
+
+let set_int p r v =
+  if r >= p.cap then grow p r;
+  Bytes.set p.tags r t_int;
+  p.ints.(r) <- v
+
+let set_float p r v =
+  if r >= p.cap then grow p r;
+  Bytes.set p.tags r t_float;
+  p.floats.(r) <- v
+
+let set_bool p r v =
+  if r >= p.cap then grow p r;
+  Bytes.set p.tags r t_bool;
+  Bytes.set p.bools r (if v then '\001' else '\000')
+
+let set_tensor p r t =
+  if r >= p.cap then grow p r;
+  Bytes.set p.tags r t_tensor;
+  p.objs.(r) <- Otensor t
+
+let set_desc p r d =
+  if r >= p.cap then grow p r;
+  Bytes.set p.tags r t_desc;
+  p.objs.(r) <- Odesc d
+
+let set_none p r =
+  if r >= p.cap then grow p r;
+  Bytes.set p.tags r t_none
+
+(* Reads beyond capacity see the default register value (int 0), like
+   [Sim.reg_read]. The coercions mirror [as_int]/[as_float]/[as_bool]
+   exactly, error messages included. *)
+
+let get_int p r =
+  if r >= p.cap then 0
+  else
+    match Bytes.get p.tags r with
+    | '\000' -> p.ints.(r)
+    | '\001' -> int_of_float p.floats.(r)
+    | '\002' -> if Bytes.get p.bools r <> '\000' then 1 else 0
+    | _ -> err "sim: expected integer operand"
+
+let get_float p r =
+  if r >= p.cap then 0.0
+  else
+    match Bytes.get p.tags r with
+    | '\001' -> p.floats.(r)
+    | '\000' -> Float.of_int p.ints.(r)
+    | '\002' -> if Bytes.get p.bools r <> '\000' then 1.0 else 0.0
+    | _ -> err "sim: expected float operand"
+
+let get_bool p r =
+  if r >= p.cap then false
+  else
+    match Bytes.get p.tags r with
+    | '\002' -> Bytes.get p.bools r <> '\000'
+    | '\000' -> p.ints.(r) <> 0
+    | '\001' -> p.floats.(r) <> 0.0
+    | _ -> err "sim: expected predicate operand"
+
+let get_tensor p r =
+  if r < p.cap && Bytes.get p.tags r = t_tensor then
+    match p.objs.(r) with Otensor t -> t | _ -> err "sim: expected tensor operand"
+  else err "sim: expected tensor operand"
+
+let get_desc p r =
+  if r < p.cap && Bytes.get p.tags r = t_desc then
+    match p.objs.(r) with Odesc d -> d | _ -> err "sim: expected descriptor operand"
+  else err "sim: expected descriptor operand"
+
+(* Boxed view of a register, for [Mov]-style generic copies done
+   planewise ({!copy_reg}) and for the property tests' oracle. *)
+let get_rt p r : Sim.rt =
+  if r >= p.cap then Sim.Rint 0
+  else
+    match Bytes.get p.tags r with
+    | '\000' -> Sim.Rint p.ints.(r)
+    | '\001' -> Sim.Rfloat p.floats.(r)
+    | '\002' -> Sim.Rbool (Bytes.get p.bools r <> '\000')
+    | '\003' -> (
+      match p.objs.(r) with Otensor t -> Sim.Rtensor t | _ -> Sim.Rnone)
+    | '\004' -> (
+      match p.objs.(r) with Odesc d -> Sim.Rdesc d | _ -> Sim.Rnone)
+    | _ -> Sim.Rnone
+
+let set_rt p r (v : Sim.rt) =
+  match v with
+  | Sim.Rint i -> set_int p r i
+  | Sim.Rfloat f -> set_float p r f
+  | Sim.Rbool b -> set_bool p r b
+  | Sim.Rtensor t -> set_tensor p r t
+  | Sim.Rdesc d -> set_desc p r d
+  | Sim.Rnone -> set_none p r
+
+(* Register-to-register copy without boxing: copy the source's
+   authoritative plane cell and its tag. *)
+let copy_reg p ~src ~dst =
+  if src >= p.cap then set_int p dst 0
+  else begin
+    if dst >= p.cap then grow p dst;
+    let tag = Bytes.get p.tags src in
+    (match tag with
+    | '\000' -> p.ints.(dst) <- p.ints.(src)
+    | '\001' -> p.floats.(dst) <- p.floats.(src)
+    | '\002' -> Bytes.set p.bools dst (Bytes.get p.bools src)
+    | _ -> p.objs.(dst) <- p.objs.(src));
+    Bytes.set p.tags dst tag
+  end
+
+(* ------------------------ execution context ----------------------- *)
+
+type wg = {
+  index : int;
+  role : Op.wg_role;
+  code : code array;
+  mutable pc : int;
+  mutable time : float;
+  planes : planes;
+  mutable state : Sim.wg_state;
+  mutable wgmma_open : float;
+  wgmma_groups : float Queue.t;
+  mutable pop_round : int;
+  mutable wg_pid : int array option;
+  mutable busy : float;
+  mutable instret : int;
+  mutable in_ready : bool; (* membership flag for the ready heap *)
+}
+
+and ectx = {
+  cfg : Config.t;
+  wgs : wg array;
+  mutable pid : int array;
+  num_programs : int array;
+  mbars : Mbarrier.t array;
+  rings : Mbarrier.t array;
+  smem : Tensor.t option array; (* dense, indexed alloc_base + slot *)
+  smem_base : int array;
+  smem_slots : int array;
+  smem_over : (int * int, Tensor.t) Hashtbl.t; (* out-of-range fallback *)
+  mutable tma_free : float;
+  mutable tc_free : float;
+  mutable fence_waiters : int list;
+  mutable popped : int array;
+  mutable popped_len : int;
+  pop_global : unit -> int;
+  stats : Sim.stats;
+  (* Blocked waiters per barrier, woken by the barrier's notify hook. *)
+  mbar_waiters : (int * wg) list array;
+  ring_waiters : (int * wg) list array;
+  ready : ready;
+}
+
+and code = ectx -> wg -> unit
+
+(* Binary min-heap of runnable warp groups keyed [(time, index)] —
+   the reference scheduler's selection order. A WG's key is stable
+   while enqueued: its clock only moves when it executes (popped) or
+   when it is unblocked (pushed afterwards). *)
+and ready = { mutable heap : wg array; mutable n : int }
+
+let wg_before a b = a.time < b.time || (a.time = b.time && a.index < b.index)
+
+let ready_push ctx w =
+  let q = ctx.ready in
+  if not w.in_ready then begin
+    w.in_ready <- true;
+    if q.n >= Array.length q.heap then begin
+      let cap = max 4 (2 * Array.length q.heap) in
+      let bigger = Array.make cap w in
+      Array.blit q.heap 0 bigger 0 q.n;
+      q.heap <- bigger
+    end;
+    q.heap.(q.n) <- w;
+    let i = ref q.n in
+    q.n <- q.n + 1;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if wg_before q.heap.(!i) q.heap.(parent) then begin
+        let tmp = q.heap.(parent) in
+        q.heap.(parent) <- q.heap.(!i);
+        q.heap.(!i) <- tmp;
+        i := parent
+      end
+      else continue := false
+    done
+  end
+
+let ready_pop ctx =
+  let q = ctx.ready in
+  if q.n = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.n <- q.n - 1;
+    if q.n > 0 then begin
+      q.heap.(0) <- q.heap.(q.n);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < q.n && wg_before q.heap.(l) q.heap.(!smallest) then smallest := l;
+        if r < q.n && wg_before q.heap.(r) q.heap.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = q.heap.(!smallest) in
+          q.heap.(!smallest) <- q.heap.(!i);
+          q.heap.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    top.in_ready <- false;
+    Some top
+  end
+
+(* ------------------------------ SMEM ------------------------------ *)
+
+let smem_set ctx alloc slot t =
+  if
+    alloc >= 0
+    && alloc < Array.length ctx.smem_slots
+    && slot >= 0
+    && slot < ctx.smem_slots.(alloc)
+  then ctx.smem.(ctx.smem_base.(alloc) + slot) <- Some t
+  else Hashtbl.replace ctx.smem_over (alloc, slot) t
+
+let smem_get ctx alloc slot =
+  if
+    alloc >= 0
+    && alloc < Array.length ctx.smem_slots
+    && slot >= 0
+    && slot < ctx.smem_slots.(alloc)
+  then
+    match ctx.smem.(ctx.smem_base.(alloc) + slot) with
+    | Some t -> t
+    | None -> err "sim: read of unwritten SMEM slot (alloc %d slot %d)" alloc slot
+  else
+    match Hashtbl.find_opt ctx.smem_over (alloc, slot) with
+    | Some t -> t
+    | None -> err "sim: read of unwritten SMEM slot (alloc %d slot %d)" alloc slot
+
+(* ------------------------- event wake-ups ------------------------- *)
+
+let spend w c =
+  w.time <- w.time +. c;
+  w.busy <- w.busy +. c
+
+(* Wake every waiter of barrier [i] whose target is now satisfied.
+   The unblock arithmetic matches [Sim.try_unblock] exactly: the
+   recorded completion time and the waiter's frozen clock fully
+   determine the wake time, so waking eagerly at arrival is
+   bit-identical to the reference's rescan-every-iteration. *)
+let wake_mbar ctx i bar =
+  match ctx.mbar_waiters.(i) with
+  | [] -> ()
+  | waiters ->
+    let have = Mbarrier.completions bar in
+    let still =
+      List.filter
+        (fun (target, w) ->
+          if have >= target then begin
+            w.time <- Float.max w.time (Mbarrier.completion_time bar target)
+                      +. ctx.cfg.Config.mbar_cycles;
+            w.state <- Sim.Running;
+            w.pc <- w.pc + 1;
+            ready_push ctx w;
+            false
+          end
+          else true)
+        waiters
+    in
+    ctx.mbar_waiters.(i) <- still
+
+let wake_ring ctx i ring =
+  match ctx.ring_waiters.(i) with
+  | [] -> ()
+  | waiters ->
+    let have = Mbarrier.completions ring in
+    let still =
+      List.filter
+        (fun (target, w) ->
+          if have >= target then begin
+            w.time <- Float.max w.time (Mbarrier.completion_time ring target)
+                      +. ctx.cfg.Config.scalar_cycles;
+            w.state <- Sim.Running;
+            w.pc <- w.pc + 1;
+            ready_push ctx w;
+            false
+          end
+          else true)
+        waiters
+    in
+    ctx.ring_waiters.(i) <- still
+
+(* Mirror of [Sim.release_fences], plus re-enqueueing the released
+   waiters. Checked on [Fence] arrival and on [Exit]. *)
+let release_fences ctx =
+  if ctx.fence_waiters <> [] then begin
+    let live =
+      Array.fold_left
+        (fun n w -> if w.state <> Sim.Finished then n + 1 else n)
+        0 ctx.wgs
+    in
+    if List.length ctx.fence_waiters >= live then begin
+      let tmax =
+        List.fold_left
+          (fun acc i -> Float.max acc ctx.wgs.(i).time)
+          0.0 ctx.fence_waiters
+      in
+      List.iter
+        (fun i ->
+          let w = ctx.wgs.(i) in
+          w.time <- tmax +. ctx.cfg.Config.fence_cycles;
+          w.state <- Sim.Running;
+          w.pc <- w.pc + 1;
+          ready_push ctx w)
+        ctx.fence_waiters;
+      ctx.fence_waiters <- []
+    end
+  end
+
+(* ----------------------- operand compilers ------------------------ *)
+
+(* Pre-resolve an operand to a closure per coercion; immediates fold
+   to captured constants (the coercion applied once, at decode). *)
+
+let iget (o : Isa.operand) : planes -> int =
+  match o with
+  | Isa.Imm i -> fun _ -> i
+  | Isa.Fimm f ->
+    let i = int_of_float f in
+    fun _ -> i
+  | Isa.Reg r -> fun p -> get_int p r
+
+let fget (o : Isa.operand) : planes -> float =
+  match o with
+  | Isa.Imm i ->
+    let f = Float.of_int i in
+    fun _ -> f
+  | Isa.Fimm f -> fun _ -> f
+  | Isa.Reg r -> fun p -> get_float p r
+
+let bget (o : Isa.operand) : planes -> bool =
+  match o with
+  | Isa.Imm i ->
+    let b = i <> 0 in
+    fun _ -> b
+  | Isa.Fimm f ->
+    let b = f <> 0.0 in
+    fun _ -> b
+  | Isa.Reg r -> fun p -> get_bool p r
+
+let tget (o : Isa.operand) : planes -> Tensor.t =
+  match o with
+  | Isa.Reg r -> fun p -> get_tensor p r
+  | Isa.Imm _ | Isa.Fimm _ -> fun _ -> err "sim: expected tensor operand"
+
+let dget (o : Isa.operand) : planes -> Sim.desc =
+  match o with
+  | Isa.Reg r -> fun p -> get_desc p r
+  | Isa.Imm _ | Isa.Fimm _ -> fun _ -> err "sim: expected descriptor operand"
+
+(* Operand kind for the ALU/Cmp dispatch: immediates are static. *)
+let kget (o : Isa.operand) : planes -> char =
+  match o with
+  | Isa.Imm _ -> fun _ -> t_int
+  | Isa.Fimm _ -> fun _ -> t_float
+  | Isa.Reg r -> fun p -> tag_of p r
+
+(* [scalar_cmp]'s float coercion admits bools (1.0/0.0) where
+   [as_float] would too, but errs with the reference's terse "cmp". *)
+let cget (o : Isa.operand) : planes -> float =
+  match o with
+  | Isa.Imm i ->
+    let f = Float.of_int i in
+    fun _ -> f
+  | Isa.Fimm f -> fun _ -> f
+  | Isa.Reg r -> (
+    fun p ->
+      if r >= p.cap then 0.0
+      else
+        match Bytes.get p.tags r with
+        | '\001' -> p.floats.(r)
+        | '\000' -> Float.of_int p.ints.(r)
+        | '\002' -> if Bytes.get p.bools r <> '\000' then 1.0 else 0.0
+        | _ -> err "cmp")
+
+(* Generic-value put (Mov/Sel): immediates fold to a typed store, a
+   register source is a planewise copy. *)
+let put_of (dst : Isa.reg) (o : Isa.operand) : planes -> unit =
+  match o with
+  | Isa.Imm i -> fun p -> set_int p dst i
+  | Isa.Fimm f -> fun p -> set_float p dst f
+  | Isa.Reg r -> fun p -> copy_reg p ~src:r ~dst
+
+let int_binop (op : Op.binop) : int -> int -> int =
+  match op with
+  | Op.Add -> ( + )
+  | Op.Sub -> ( - )
+  | Op.Mul -> ( * )
+  | Op.Div -> fun x y -> if y = 0 then err "sim: div by zero" else x / y
+  | Op.Rem -> fun x y -> if y = 0 then err "sim: rem by zero" else x mod y
+  | Op.Min -> min
+  | Op.Max -> max
+  | Op.And -> ( land )
+  | Op.Or -> ( lor )
+  | Op.Xor -> ( lxor )
+
+(* Offset operands: the reference reads [List.nth offs 0] and, when
+   present, [List.nth offs 1] (extra dims ignored). An empty list
+   fails at run time like [List.nth] would — only reachable in
+   functional closures, as in the reference. *)
+let compile_offs (offs : Isa.operand list) =
+  match offs with
+  | o0 :: rest ->
+    let i0 = iget o0 in
+    let i1 = match rest with o1 :: _ -> iget o1 | [] -> fun _ -> 0 in
+    (i0, i1)
+  | [] -> ((fun _ -> failwith "nth"), fun _ -> 0)
+
+(* --------------------- instruction compilation -------------------- *)
+
+let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
+  let functional = cfg.Config.functional in
+  let sc = cfg.Config.scalar_cycles in
+  let tile_cost ~elems ~per_cycle = Sim.tile_cost cfg coop ~elems ~per_cycle in
+  match i with
+  | Isa.Nop ->
+    fun _ctx w ->
+      spend w 1.0;
+      w.pc <- w.pc + 1
+  | Isa.Alu { op; dst; a; b } ->
+    let iop = int_binop op in
+    let fop = Interp.float_binop op in
+    let ka = kget a and kb = kget b in
+    let ia = iget a and ib = iget b in
+    let fa = fget a and fb = fget b in
+    fun _ctx w ->
+      let p = w.planes in
+      let ta = ka p and tb = kb p in
+      (if ta = t_int && tb = t_int then set_int p dst (iop (ia p) (ib p))
+       else if ta <= t_float && tb <= t_float then
+         set_float p dst (fop (fa p) (fb p))
+       else err "sim: bad ALU operands");
+      spend w sc;
+      w.pc <- w.pc + 1
+  | Isa.Cmp { op; dst; a; b } ->
+    let pred_i : int -> int -> bool = fun x y -> Interp.cmp_pred op x y in
+    let pred_f : float -> float -> bool = fun x y -> Interp.cmp_pred op x y in
+    let ka = kget a and kb = kget b in
+    let ia = iget a and ib = iget b in
+    let ca = cget a and cb = cget b in
+    fun _ctx w ->
+      let p = w.planes in
+      (if ka p = t_int && kb p = t_int then set_bool p dst (pred_i (ia p) (ib p))
+       else set_bool p dst (pred_f (ca p) (cb p)));
+      spend w sc;
+      w.pc <- w.pc + 1
+  | Isa.Mov { dst; src } ->
+    let put = put_of dst src in
+    fun _ctx w ->
+      put w.planes;
+      spend w sc;
+      w.pc <- w.pc + 1
+  | Isa.Sel { dst; cond; a; b } ->
+    let bc = bget cond in
+    let put_a = put_of dst a and put_b = put_of dst b in
+    fun _ctx w ->
+      let p = w.planes in
+      if bc p then put_a p else put_b p;
+      spend w sc;
+      w.pc <- w.pc + 1
+  | Isa.Pid { dst; axis } ->
+    fun ctx w ->
+      let pid = match w.wg_pid with Some p -> p | None -> ctx.pid in
+      set_int w.planes dst pid.(axis);
+      spend w sc;
+      w.pc <- w.pc + 1
+  | Isa.Npid { dst; axis } ->
+    fun ctx w ->
+      set_int w.planes dst ctx.num_programs.(axis);
+      spend w sc;
+      w.pc <- w.pc + 1
+  | Isa.Mkdesc { dst; ptr; dtype; _ } ->
+    let read_ptr : planes -> Tensor.t option =
+      match ptr with
+      | Isa.Reg r -> (
+        fun p ->
+          if r >= p.cap then
+            err "sim: descriptor pointer must bind a buffer (or Rnone in timing mode)"
+          else
+            match Bytes.get p.tags r with
+            | '\003' -> (
+              match p.objs.(r) with
+              | Otensor t -> Some t
+              | _ ->
+                err "sim: descriptor pointer must bind a buffer (or Rnone in timing mode)")
+            | '\005' -> None
+            | _ ->
+              err "sim: descriptor pointer must bind a buffer (or Rnone in timing mode)")
+      | Isa.Imm _ | Isa.Fimm _ ->
+        fun _ ->
+          err "sim: descriptor pointer must bind a buffer (or Rnone in timing mode)"
+    in
+    fun _ctx w ->
+      let buffer = read_ptr w.planes in
+      set_desc w.planes dst { Sim.buffer; ddtype = dtype };
+      spend w 20.0;
+      w.pc <- w.pc + 1
+  | Isa.Tile_unop { op; dst; src; elems } ->
+    let per_cycle =
+      match op with
+      | Op.Exp | Op.Exp2 | Op.Log | Op.Log2 | Op.Sqrt | Op.Rsqrt ->
+        cfg.Config.sfu_elems_per_cycle
+      | Op.Neg | Op.Abs | Op.Not -> cfg.Config.cuda_elems_per_cycle
+    in
+    let c = tile_cost ~elems ~per_cycle in
+    if functional then begin
+      let f = Interp.float_unop op in
+      let ts = tget src in
+      fun _ctx w ->
+        spend w c;
+        set_tensor w.planes dst (Tensor.map f (ts w.planes));
+        w.pc <- w.pc + 1
+    end
+    else
+      fun _ctx w ->
+        spend w c;
+        set_none w.planes dst;
+        w.pc <- w.pc + 1
+  | Isa.Tile_binop { op; dst; a; b; elems } ->
+    let c = tile_cost ~elems ~per_cycle:cfg.Config.cuda_elems_per_cycle in
+    if functional then begin
+      let f = Interp.float_binop op in
+      let ta = tget a and tb = tget b in
+      fun _ctx w ->
+        spend w c;
+        let p = w.planes in
+        set_tensor p dst (Tensor.map2 f (ta p) (tb p));
+        w.pc <- w.pc + 1
+    end
+    else
+      fun _ctx w ->
+        spend w c;
+        set_none w.planes dst;
+        w.pc <- w.pc + 1
+  | Isa.Tile_cmp { op; dst; a; b; elems } ->
+    let c = tile_cost ~elems ~per_cycle:cfg.Config.cuda_elems_per_cycle in
+    if functional then begin
+      let pred : float -> float -> bool = fun x y -> Interp.cmp_pred op x y in
+      let ta = tget a and tb = tget b in
+      fun _ctx w ->
+        spend w c;
+        let p = w.planes in
+        set_tensor p dst (Tensor.cmp pred (ta p) (tb p));
+        w.pc <- w.pc + 1
+    end
+    else
+      fun _ctx w ->
+        spend w c;
+        set_none w.planes dst;
+        w.pc <- w.pc + 1
+  | Isa.Tile_select { dst; cond; a; b; elems } ->
+    let c = tile_cost ~elems ~per_cycle:cfg.Config.cuda_elems_per_cycle in
+    if functional then begin
+      let tc = tget cond and ta = tget a and tb = tget b in
+      fun _ctx w ->
+        spend w c;
+        let p = w.planes in
+        set_tensor p dst (Tensor.select (tc p) (ta p) (tb p));
+        w.pc <- w.pc + 1
+    end
+    else
+      fun _ctx w ->
+        spend w c;
+        set_none w.planes dst;
+        w.pc <- w.pc + 1
+  | Isa.Tile_cast { dst; src; dtype; elems } ->
+    let c = tile_cost ~elems ~per_cycle:cfg.Config.cuda_elems_per_cycle in
+    if functional then begin
+      let ts = tget src in
+      fun _ctx w ->
+        spend w c;
+        set_tensor w.planes dst (Tensor.cast dtype (ts w.planes));
+        w.pc <- w.pc + 1
+    end
+    else
+      fun _ctx w ->
+        spend w c;
+        set_none w.planes dst;
+        w.pc <- w.pc + 1
+  | Isa.Tile_splat { dst; src; shape; dtype } ->
+    let elems = List.fold_left ( * ) 1 shape in
+    let c = tile_cost ~elems ~per_cycle:cfg.Config.cuda_elems_per_cycle in
+    if functional then begin
+      let shape = Array.of_list shape in
+      let fs = fget src in
+      fun _ctx w ->
+        spend w c;
+        let t = Tensor.create ~dtype shape in
+        Tensor.fill t (fs w.planes);
+        set_tensor w.planes dst t;
+        w.pc <- w.pc + 1
+    end
+    else
+      fun _ctx w ->
+        spend w c;
+        set_none w.planes dst;
+        w.pc <- w.pc + 1
+  | Isa.Tile_iota { dst; n } ->
+    let c = tile_cost ~elems:n ~per_cycle:cfg.Config.cuda_elems_per_cycle in
+    if functional then
+      fun _ctx w ->
+        spend w c;
+        set_tensor w.planes dst
+          (Tensor.init ~dtype:Dtype.I32 [| n |] (fun i -> Float.of_int i.(0)));
+        w.pc <- w.pc + 1
+    else
+      fun _ctx w ->
+        spend w c;
+        set_none w.planes dst;
+        w.pc <- w.pc + 1
+  | Isa.Tile_bcast { dst; src; shape } ->
+    let elems = List.fold_left ( * ) 1 shape in
+    let c = tile_cost ~elems ~per_cycle:cfg.Config.cuda_elems_per_cycle in
+    if functional then begin
+      let ts = tget src in
+      fun _ctx w ->
+        spend w c;
+        set_tensor w.planes dst (Interp.broadcast_to (ts w.planes) shape);
+        w.pc <- w.pc + 1
+    end
+    else
+      fun _ctx w ->
+        spend w c;
+        set_none w.planes dst;
+        w.pc <- w.pc + 1
+  | Isa.Tile_reshape { dst; src; shape } ->
+    if functional then begin
+      let shape = Array.of_list shape in
+      let ts = tget src in
+      fun _ctx w ->
+        spend w sc;
+        set_tensor w.planes dst (Tensor.reshape (ts w.planes) shape);
+        w.pc <- w.pc + 1
+    end
+    else
+      fun _ctx w ->
+        spend w sc;
+        set_none w.planes dst;
+        w.pc <- w.pc + 1
+  | Isa.Tile_reduce { kind; axis; dst; src; elems } ->
+    let c = tile_cost ~elems ~per_cycle:cfg.Config.reduce_elems_per_cycle in
+    if functional then begin
+      let ts = tget src in
+      fun _ctx w ->
+        spend w c;
+        set_tensor w.planes dst (Interp.reduce_tensor kind axis (ts w.planes));
+        w.pc <- w.pc + 1
+    end
+    else
+      fun _ctx w ->
+        spend w c;
+        set_none w.planes dst;
+        w.pc <- w.pc + 1
+  | Isa.Tile_trans { dst; src; elems } ->
+    let c = tile_cost ~elems ~per_cycle:cfg.Config.trans_elems_per_cycle in
+    if functional then begin
+      let ts = tget src in
+      fun _ctx w ->
+        spend w c;
+        set_tensor w.planes dst (Tensor.transpose2 (ts w.planes));
+        w.pc <- w.pc + 1
+    end
+    else
+      fun _ctx w ->
+        spend w c;
+        set_none w.planes dst;
+        w.pc <- w.pc + 1
+  | Isa.Tma_load { desc; offs; dst; rows; cols; dtype; full } ->
+    let issue = cfg.Config.tma_issue_cycles in
+    let bytes = Float.of_int (Sim.bytes_of ~rows ~cols dtype) in
+    let busy = bytes /. cfg.Config.tma_bytes_per_cycle in
+    let latency = cfg.Config.tma_latency in
+    let bar_base = full.Isa.base in
+    let bar_idx = iget full.Isa.index in
+    let timing ctx w =
+      spend w issue;
+      let start = Float.max ctx.tma_free w.time in
+      ctx.tma_free <- start +. busy;
+      ctx.stats.Sim.tma_busy <- ctx.stats.Sim.tma_busy +. busy;
+      ctx.stats.Sim.tma_bytes <- ctx.stats.Sim.tma_bytes +. bytes;
+      ctx.stats.Sim.tma_count <- ctx.stats.Sim.tma_count + 1;
+      let completion = start +. busy +. latency in
+      let bar = bar_base + bar_idx w.planes in
+      ignore (Mbarrier.arrive ctx.mbars.(bar) ~time:completion)
+    in
+    if functional then begin
+      let dd = dget desc in
+      let i0, i1 = compile_offs offs in
+      (* 1-D loads address the column axis of a row vector. *)
+      let swap = rows = 1 && List.length offs = 1 in
+      let alloc = dst.Isa.alloc in
+      let islot = iget dst.Isa.slot in
+      fun ctx w ->
+        timing ctx w;
+        let p = w.planes in
+        let d = dd p in
+        (match d.Sim.buffer with
+        | Some buf ->
+          let r0 = i0 p in
+          let c0 = i1 p in
+          let r0, c0 = if swap then (0, r0) else (r0, c0) in
+          smem_set ctx alloc (islot p)
+            (Tensor.slice2 ~dtype buf ~r0 ~c0 ~rows ~cols)
+        | None -> err "sim: functional TMA load without buffer");
+        w.pc <- w.pc + 1
+    end
+    else
+      fun ctx w ->
+        timing ctx w;
+        w.pc <- w.pc + 1
+  | Isa.Cp_async { ring; desc; offs; dst; rows; cols; dtype; last } ->
+    let bytes = Sim.bytes_of ~rows ~cols dtype in
+    let chunks = (bytes + cfg.Config.cp_chunk_bytes - 1) / cfg.Config.cp_chunk_bytes in
+    let issue = Float.of_int chunks *. cfg.Config.cp_issue_cycles_per_chunk in
+    let busy = Float.of_int bytes /. cfg.Config.cp_async_bytes_per_cycle in
+    let fbytes = Float.of_int bytes in
+    let latency = cfg.Config.tma_latency in
+    let timing ctx w =
+      spend w issue;
+      let start = Float.max ctx.tma_free w.time in
+      ctx.tma_free <- start +. busy;
+      ctx.stats.Sim.tma_busy <- ctx.stats.Sim.tma_busy +. busy;
+      ctx.stats.Sim.tma_bytes <- ctx.stats.Sim.tma_bytes +. fbytes;
+      let completion = start +. busy +. latency in
+      if last then ignore (Mbarrier.arrive ctx.rings.(ring) ~time:completion)
+    in
+    if functional then begin
+      let dd = dget desc in
+      let i0, i1 = compile_offs offs in
+      let alloc = dst.Isa.alloc in
+      let islot = iget dst.Isa.slot in
+      fun ctx w ->
+        timing ctx w;
+        let p = w.planes in
+        let d = dd p in
+        (match d.Sim.buffer with
+        | Some buf ->
+          let r0 = i0 p in
+          let c0 = i1 p in
+          smem_set ctx alloc (islot p)
+            (Tensor.slice2 ~dtype buf ~r0 ~c0 ~rows ~cols)
+        | None -> err "sim: functional cp.async without buffer");
+        w.pc <- w.pc + 1
+    end
+    else
+      fun ctx w ->
+        timing ctx w;
+        w.pc <- w.pc + 1
+  | Isa.Cp_wait_ring { ring; target } ->
+    let itgt = iget target in
+    fun ctx w -> (
+      let tgt = itgt w.planes in
+      match Mbarrier.try_wait ctx.rings.(ring) ~target:tgt with
+      | Some t ->
+        w.time <- Float.max w.time t;
+        spend w sc;
+        w.pc <- w.pc + 1
+      | None ->
+        w.state <- Sim.Blocked (Sim.On_ring { ring; target = tgt });
+        ctx.ring_waiters.(ring) <- (tgt, w) :: ctx.ring_waiters.(ring))
+  | Isa.Ldg { dst; desc; offs; rows; cols; dtype } ->
+    let bytes = Float.of_int (Sim.bytes_of ~rows ~cols dtype) in
+    let cost = cfg.Config.tma_latency +. (bytes /. cfg.Config.ldg_bytes_per_cycle) in
+    if functional then begin
+      let dd = dget desc in
+      let i0, i1 = compile_offs offs in
+      fun _ctx w ->
+        spend w cost;
+        let p = w.planes in
+        let d = dd p in
+        (match d.Sim.buffer with
+        | Some buf ->
+          let r0 = i0 p in
+          let c0 = i1 p in
+          set_tensor p dst (Tensor.slice2 ~dtype buf ~r0 ~c0 ~rows ~cols)
+        | None -> err "sim: functional ldg without buffer");
+        w.pc <- w.pc + 1
+    end
+    else
+      fun _ctx w ->
+        spend w cost;
+        set_none w.planes dst;
+        w.pc <- w.pc + 1
+  | Isa.Lds { dst; src; shape; dtype } ->
+    let bytes = List.fold_left ( * ) 1 shape * Dtype.size_bytes dtype in
+    let cost =
+      Float.of_int bytes /. cfg.Config.smem_bytes_per_cycle /. Float.of_int coop
+    in
+    if functional then begin
+      let alloc = src.Isa.src.Isa.alloc in
+      let islot = iget src.Isa.src.Isa.slot in
+      let transposed = src.Isa.transposed in
+      fun ctx w ->
+        spend w cost;
+        let t = smem_get ctx alloc (islot w.planes) in
+        let t = if transposed then Tensor.transpose2 t else t in
+        set_tensor w.planes dst t;
+        w.pc <- w.pc + 1
+    end
+    else
+      fun _ctx w ->
+        spend w cost;
+        set_none w.planes dst;
+        w.pc <- w.pc + 1
+  | Isa.Sts { src; dst; elems; dtype } ->
+    let bytes = elems * Dtype.size_bytes dtype in
+    let cost =
+      Float.of_int bytes /. cfg.Config.smem_bytes_per_cycle /. Float.of_int coop
+    in
+    if functional then begin
+      let ts = tget src in
+      let alloc = dst.Isa.alloc in
+      let islot = iget dst.Isa.slot in
+      fun ctx w ->
+        spend w cost;
+        let p = w.planes in
+        smem_set ctx alloc (islot p) (ts p);
+        w.pc <- w.pc + 1
+    end
+    else
+      fun _ctx w ->
+        spend w cost;
+        w.pc <- w.pc + 1
+  | Isa.Stg { desc; offs; src; rows; cols } ->
+    let dd = dget desc in
+    let coop_f = Float.of_int coop in
+    let stg_bpc = cfg.Config.stg_bytes_per_cycle in
+    let stg_lat = cfg.Config.stg_latency in
+    if functional then begin
+      let ts = tget src in
+      let i0, i1 = compile_offs offs in
+      fun _ctx w ->
+        let p = w.planes in
+        let d = dd p in
+        let bytes = Float.of_int (Sim.bytes_of ~rows ~cols d.Sim.ddtype) in
+        spend w ((bytes /. stg_bpc /. coop_f) +. stg_lat);
+        (match d.Sim.buffer with
+        | Some buf ->
+          let r0 = i0 p in
+          let c0 = i1 p in
+          Tensor.blit2 ~dst:buf ~r0 ~c0 (Tensor.cast d.Sim.ddtype (ts p))
+        | None -> err "sim: functional store without buffer");
+        w.pc <- w.pc + 1
+    end
+    else
+      fun _ctx w ->
+        let d = dd w.planes in
+        let bytes = Float.of_int (Sim.bytes_of ~rows ~cols d.Sim.ddtype) in
+        spend w ((bytes /. stg_bpc /. coop_f) +. stg_lat);
+        w.pc <- w.pc + 1
+  | Isa.Mbar_arrive { base; index } ->
+    let idx = iget index in
+    let mc = cfg.Config.mbar_cycles in
+    fun ctx w ->
+      spend w mc;
+      ignore (Mbarrier.arrive ctx.mbars.(base + idx w.planes) ~time:w.time);
+      w.pc <- w.pc + 1
+  | Isa.Mbar_wait { bar; target } ->
+    let base = bar.Isa.base in
+    let idx = iget bar.Isa.index in
+    let itgt = iget target in
+    let mc = cfg.Config.mbar_cycles in
+    fun ctx w -> (
+      let p = w.planes in
+      let b = base + idx p in
+      let tgt = itgt p in
+      match Mbarrier.try_wait ctx.mbars.(b) ~target:tgt with
+      | Some t ->
+        w.time <- Float.max w.time t;
+        spend w mc;
+        w.pc <- w.pc + 1
+      | None ->
+        w.state <- Sim.Blocked (Sim.On_mbar { bar = b; target = tgt });
+        ctx.mbar_waiters.(b) <- (tgt, w) :: ctx.mbar_waiters.(b))
+  | Isa.Wgmma { a; b; acc; m; n; k; dtype } ->
+    let issue = cfg.Config.wgmma_issue_cycles in
+    let flops = 2.0 *. Float.of_int m *. Float.of_int n *. Float.of_int k in
+    let pen1000 = cfg.Config.wgmma_depth_penalty /. 1000.0 in
+    let denom = Config.tc_flops_per_cycle cfg dtype *. cfg.Config.tc_efficiency in
+    let timing ctx w =
+      spend w issue;
+      let pressure =
+        1.0 +. (pen1000 *. Float.of_int (max 0 (Queue.length w.wgmma_groups - 1)))
+      in
+      let dur = flops *. pressure /. denom in
+      let start = Float.max ctx.tc_free w.time in
+      ctx.tc_free <- start +. dur;
+      ctx.stats.Sim.tc_busy <- ctx.stats.Sim.tc_busy +. dur;
+      ctx.stats.Sim.wgmma_count <- ctx.stats.Sim.wgmma_count + 1;
+      w.wgmma_open <- start +. dur
+    in
+    if functional then begin
+      let compile_src (s : Isa.wgmma_src) : ectx -> wg -> Tensor.t =
+        match s with
+        | Isa.Wreg r ->
+          fun _ctx w ->
+            let p = w.planes in
+            if r < p.cap && Bytes.get p.tags r = t_tensor then
+              match p.objs.(r) with
+              | Otensor t -> t
+              | _ -> err "sim: wgmma register operand is not a tile"
+            else err "sim: wgmma register operand is not a tile"
+        | Isa.Wsmem v ->
+          let alloc = v.Isa.src.Isa.alloc in
+          let islot = iget v.Isa.src.Isa.slot in
+          let transposed = v.Isa.transposed in
+          fun ctx w ->
+            let t = smem_get ctx alloc (islot w.planes) in
+            if transposed then Tensor.transpose2 t else t
+      in
+      let ra = compile_src a and rb = compile_src b in
+      fun ctx w ->
+        timing ctx w;
+        let ta = ra ctx w in
+        let tb = rb ctx w in
+        let p = w.planes in
+        let tacc =
+          if acc < p.cap && Bytes.get p.tags acc = t_tensor then
+            match p.objs.(acc) with
+            | Otensor t -> t
+            | _ -> err "sim: wgmma accumulator is not a tile"
+          else err "sim: wgmma accumulator is not a tile"
+        in
+        set_tensor p acc (Interp.dot_tiles ta tb tacc);
+        w.pc <- w.pc + 1
+    end
+    else
+      fun ctx w ->
+        timing ctx w;
+        w.pc <- w.pc + 1
+  | Isa.Wgmma_commit ->
+    fun _ctx w ->
+      if w.wgmma_open >= 0.0 then begin
+        Queue.push w.wgmma_open w.wgmma_groups;
+        w.wgmma_open <- -1.0
+      end;
+      spend w 1.0;
+      w.pc <- w.pc + 1
+  | Isa.Wgmma_wait n ->
+    fun _ctx w ->
+      while Queue.length w.wgmma_groups > n do
+        let t = Queue.pop w.wgmma_groups in
+        w.time <- Float.max w.time t
+      done;
+      spend w 1.0;
+      w.pc <- w.pc + 1
+  | Isa.Fence ->
+    fun ctx w ->
+      w.state <- Sim.Blocked Sim.On_fence;
+      ctx.fence_waiters <- w.index :: ctx.fence_waiters;
+      release_fences ctx
+  | Isa.Sync_reset ->
+    let mc = cfg.Config.mbar_cycles in
+    fun ctx w ->
+      Array.iter Mbarrier.reset ctx.rings;
+      spend w mc;
+      w.pc <- w.pc + 1
+  | Isa.Workq_pop { dst } ->
+    let cost = cfg.Config.workq_pop_cycles in
+    fun ctx w ->
+      let round = w.pop_round in
+      w.pop_round <- round + 1;
+      if round >= ctx.popped_len then begin
+        if ctx.popped_len >= Array.length ctx.popped then begin
+          let bigger = Array.make (2 * Array.length ctx.popped) (-2) in
+          Array.blit ctx.popped 0 bigger 0 ctx.popped_len;
+          ctx.popped <- bigger
+        end;
+        ctx.popped.(ctx.popped_len) <- ctx.pop_global ();
+        ctx.popped_len <- ctx.popped_len + 1
+      end;
+      let v = ctx.popped.(round) in
+      if v >= 0 then begin
+        let gx = ctx.num_programs.(0) and gy = ctx.num_programs.(1) in
+        let x = v mod gx and rest = v / gx in
+        let y = rest mod gy and z = rest / gy in
+        w.wg_pid <- Some [| x; y; z |]
+      end;
+      set_int w.planes dst v;
+      spend w cost;
+      w.pc <- w.pc + 1
+  | Isa.Bra { target } ->
+    fun _ctx w ->
+      spend w sc;
+      w.pc <- target
+  | Isa.Brz { cond; target } ->
+    let bc = bget cond in
+    fun _ctx w ->
+      spend w sc;
+      if bc w.planes then w.pc <- w.pc + 1 else w.pc <- target
+  | Isa.Brnz { cond; target } ->
+    let bc = bget cond in
+    fun _ctx w ->
+      spend w sc;
+      if bc w.planes then w.pc <- target else w.pc <- w.pc + 1
+  | Isa.Exit ->
+    fun ctx w ->
+      w.state <- Sim.Finished;
+      release_fences ctx
+
+(* --------------------------- decoding ----------------------------- *)
+
+type t = {
+  d_cfg : Config.t;
+  d_program : Isa.program;
+  d_codes : code array array; (* per stream, per pc *)
+  d_roles : Op.wg_role array;
+  d_coops : int array;
+  d_smem_base : int array; (* per alloc id *)
+  d_smem_slots : int array;
+  d_smem_total : int;
+  d_reset_mask : bool array; (* which mbarriers Sync_reset reinitializes *)
+}
+
+(* [Sync_reset] needs the program-level resettable mask and the full
+   barrier array; compile it as a context-level closure after the
+   per-instruction pass (the mask is shared across streams). *)
+let decode ~(cfg : Config.t) (program : Isa.program) : t =
+  let reset_mask =
+    Array.init program.Isa.num_mbarriers (fun i ->
+        i >= Array.length program.Isa.mbar_resettable
+        || program.Isa.mbar_resettable.(i))
+  in
+  let codes =
+    Array.of_list
+      (List.map
+         (fun (s : Isa.stream) ->
+           Array.map
+             (fun instr ->
+               match instr with
+               | Isa.Sync_reset ->
+                 let mc = cfg.Config.mbar_cycles in
+                 fun ctx w ->
+                   Array.iteri
+                     (fun i b -> if reset_mask.(i) then Mbarrier.reset b)
+                     ctx.mbars;
+                   Array.iter Mbarrier.reset ctx.rings;
+                   spend w mc;
+                   w.pc <- w.pc + 1
+               | _ -> compile_instr ~cfg ~coop:s.Isa.coop instr)
+             s.Isa.instrs)
+         program.Isa.streams)
+  in
+  let max_alloc =
+    List.fold_left (fun m (a : Isa.alloc) -> max m a.Isa.alloc_id) (-1)
+      program.Isa.allocs
+  in
+  let slots = Array.make (max_alloc + 1) 0 in
+  List.iter
+    (fun (a : Isa.alloc) -> if a.Isa.alloc_id >= 0 then slots.(a.Isa.alloc_id) <- a.Isa.slots)
+    program.Isa.allocs;
+  let base = Array.make (max_alloc + 1) 0 in
+  let acc = ref 0 in
+  for i = 0 to max_alloc do
+    base.(i) <- !acc;
+    acc := !acc + slots.(i)
+  done;
+  {
+    d_cfg = cfg;
+    d_program = program;
+    d_codes = codes;
+    d_roles =
+      Array.of_list (List.map (fun (s : Isa.stream) -> s.Isa.role) program.Isa.streams);
+    d_coops =
+      Array.of_list (List.map (fun (s : Isa.stream) -> s.Isa.coop) program.Isa.streams);
+    d_smem_base = base;
+    d_smem_slots = slots;
+    d_smem_total = !acc;
+    d_reset_mask = reset_mask;
+  }
+
+(* ------------------------ context creation ------------------------ *)
+
+let make_ctx (d : t) ~(params : Sim.rt list) ~(num_programs : int array)
+    ~(pid : int array) ~(pop_global : unit -> int) : ectx =
+  let program = d.d_program in
+  if List.length params <> List.length program.Isa.param_tys then
+    err "sim: parameter arity mismatch (%d vs %d)" (List.length params)
+      (List.length program.Isa.param_tys);
+  let wgs =
+    Array.mapi
+      (fun i codes ->
+        let planes = make_planes 64 in
+        (* Kernel params preload registers 0..n-1 (capped at the
+           reference file's initial 64 registers). *)
+        List.iteri (fun r v -> if r < 64 then set_rt planes r v) params;
+        {
+          index = i;
+          role = d.d_roles.(i);
+          code = codes;
+          pc = 0;
+          time = 0.0;
+          planes;
+          state = Sim.Running;
+          wgmma_open = -1.0;
+          wgmma_groups = Queue.create ();
+          pop_round = 0;
+          wg_pid = None;
+          busy = 0.0;
+          instret = 0;
+          in_ready = false;
+        })
+      d.d_codes
+  in
+  let ctx =
+    {
+      cfg = d.d_cfg;
+      wgs;
+      pid;
+      num_programs;
+      mbars =
+        Array.init program.Isa.num_mbarriers (fun i ->
+            Mbarrier.create ~arrive_count:program.Isa.mbar_arrive_counts.(i));
+      rings =
+        Array.init (max 1 program.Isa.num_rings) (fun _ ->
+            Mbarrier.create ~arrive_count:1);
+      smem = Array.make (max 1 d.d_smem_total) None;
+      smem_base = d.d_smem_base;
+      smem_slots = d.d_smem_slots;
+      smem_over = Hashtbl.create 8;
+      tma_free = 0.0;
+      tc_free = 0.0;
+      fence_waiters = [];
+      popped = Array.make 16 (-2);
+      popped_len = 0;
+      pop_global;
+      stats =
+        {
+          Sim.tc_busy = 0.0;
+          tma_busy = 0.0;
+          tma_bytes = 0.0;
+          wgmma_count = 0;
+          tma_count = 0;
+          steps = 0;
+        };
+      mbar_waiters = Array.make (max 1 program.Isa.num_mbarriers) [];
+      ring_waiters = Array.make (max 1 program.Isa.num_rings) [];
+      ready = { heap = [||]; n = 0 };
+    }
+  in
+  Array.iteri (fun i b -> Mbarrier.set_notify b (fun bar -> wake_mbar ctx i bar)) ctx.mbars;
+  Array.iteri (fun i b -> Mbarrier.set_notify b (fun ring -> wake_ring ctx i ring)) ctx.rings;
+  ctx

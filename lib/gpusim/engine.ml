@@ -1,0 +1,179 @@
+(** Engine selection and the event-driven scheduler for decoded CTAs.
+
+    Two engines execute a CTA:
+
+    - {b Reference} — {!Sim.step}, the tree-walking interpreter. It is
+      the semantic oracle: simple, obviously faithful to the paper's
+      cost model, and the only engine that records timeline events
+      ([collect_trace]).
+    - {b Decoded} — {!Decode}, the closure-compiled engine, selected by
+      default. Bit-identical outcomes (cycles, stats, functional
+      tensors) are enforced by the differential suite in
+      [test/test_engine.ml].
+
+    Selection precedence: a forced override (bench harness) beats
+    [cfg.engine], which beats the [TAWA_ENGINE] environment variable
+    ("reference"/"ref"/"tree"/"interp" or "decoded"/"dec"/"closure"),
+    which beats the default (Decoded). [collect_trace] always forces
+    the reference engine — traces exist only in the oracle.
+
+    Decoded programs are cached ({!Progcache}) keyed by program
+    fingerprint x config digest, so repeated launches of the same
+    program (bench sweeps, persistent grids, per-CTA fan-out) decode
+    once. *)
+
+open Tawa_ir
+open Tawa_machine
+
+let err fmt = Format.kasprintf (fun s -> raise (Sim.Sim_error s)) fmt
+
+(* --------------------- decoded scheduler loop --------------------- *)
+
+(* The reference loop rescans every WG per iteration: try_unblock on
+   all blocked WGs, then a linear min-scan over Running WGs. Here
+   blocked WGs are woken by the barrier notify hooks the moment the
+   satisfying arrival lands (the unblock time depends only on the
+   recorded completion time and the waiter's frozen clock, so eager
+   wake-up is bit-identical), and the min-scan is a binary heap pop:
+   O(log #WGs) per retired instruction instead of O(#WGs). *)
+let run_decoded ?(max_steps = 50_000_000) (ctx : Decode.ectx) : Sim.outcome =
+  let wgs = ctx.Decode.wgs in
+  Array.iter (fun w -> Decode.ready_push ctx w) wgs;
+  let alive = ref (Array.length wgs) in
+  let steps = ref 0 in
+  while !alive > 0 do
+    incr steps;
+    if !steps > max_steps then err "sim: step budget exhausted";
+    match Decode.ready_pop ctx with
+    | Some w ->
+      ctx.Decode.stats.Sim.steps <- ctx.Decode.stats.Sim.steps + 1;
+      w.Decode.instret <- w.Decode.instret + 1;
+      w.Decode.code.(w.Decode.pc) ctx w;
+      (* Only the executing WG can finish; blocked WGs re-enter the
+         heap via the wake hooks (possibly already, if this very
+         instruction released them). *)
+      (match w.Decode.state with
+      | Sim.Running -> Decode.ready_push ctx w
+      | Sim.Finished -> decr alive
+      | Sim.Blocked _ -> ())
+    | None ->
+      let blocked =
+        Array.to_list wgs
+        |> List.filter (fun w -> w.Decode.state <> Sim.Finished)
+        |> List.map (fun w ->
+               Printf.sprintf "wg%d(%s)@pc%d: %s" w.Decode.index
+                 (Op.role_to_string w.Decode.role)
+                 w.Decode.pc
+                 (match w.Decode.state with
+                 | Sim.Blocked (Sim.On_mbar { bar; target }) ->
+                   Printf.sprintf "mbar %d >= %d (have %d)" bar target
+                     (Mbarrier.completions ctx.Decode.mbars.(bar))
+                 | Sim.Blocked (Sim.On_ring { ring; target }) ->
+                   Printf.sprintf "ring %d >= %d (have %d)" ring target
+                     (Mbarrier.completions ctx.Decode.rings.(ring))
+                 | Sim.Blocked Sim.On_fence -> "fence"
+                 | Sim.Running | Sim.Finished -> "?"))
+      in
+      err "sim: deadlock: %s" (String.concat "; " blocked)
+  done;
+  let cycles =
+    Array.fold_left (fun acc w -> Float.max acc w.Decode.time) 0.0 wgs
+  in
+  {
+    Sim.cycles;
+    stats = ctx.Decode.stats;
+    instructions = Array.fold_left (fun a w -> a + w.Decode.instret) 0 wgs;
+  }
+
+(* ------------------------ engine selection ------------------------ *)
+
+(* Process-wide override used by the bench harness to pin a pass to one
+   engine regardless of config/env. *)
+let forced : Config.engine option Atomic.t = Atomic.make None
+let set_forced e = Atomic.set forced e
+
+let env_engine () =
+  match Sys.getenv_opt "TAWA_ENGINE" with
+  | None -> None
+  | Some s -> (
+    match String.lowercase_ascii s with
+    | "reference" | "ref" | "tree" | "interp" -> Some Config.Reference
+    | "decoded" | "dec" | "closure" -> Some Config.Decoded
+    | _ -> None)
+
+let resolve (cfg : Config.t) : Config.engine =
+  if cfg.Config.collect_trace then Config.Reference
+  else
+    match Atomic.get forced with
+    | Some e -> e
+    | None -> (
+      match cfg.Config.engine with
+      | Some e -> e
+      | None -> (
+        match env_engine () with Some e -> e | None -> Config.Decoded))
+
+(* ------------------------- decode caching ------------------------- *)
+
+let decode_cache : Decode.t Progcache.t = Progcache.create ()
+let clear_decode_cache () = Progcache.clear decode_cache
+let decode_cache_stats () = Progcache.stats decode_cache
+
+(* Cost-model fields change the compiled closures (costs are folded at
+   decode time), so the whole config is part of the key — except the
+   fields that don't affect decoding: trace collection and the engine
+   choice itself. *)
+let cfg_digest (cfg : Config.t) =
+  let norm = { cfg with Config.collect_trace = false; engine = None } in
+  Digest.to_hex (Digest.string (Marshal.to_string norm []))
+
+(* ------------------------------ API ------------------------------- *)
+
+type prepared =
+  | Pref of Config.t * Isa.program
+  | Pdec of Decode.t
+
+(* Retired-instruction counter across all engines and domains, for the
+   bench harness's instructions/sec figure. *)
+let retired = Atomic.make 0
+let instructions_retired () = Atomic.get retired
+let reset_instructions () = Atomic.set retired 0
+
+(** Resolve the engine for [cfg] and pre-translate [program] if the
+    decoded engine is selected. One [prepare] per launch amortizes the
+    cache-key digest over all CTAs of the grid. *)
+let prepare ~(cfg : Config.t) (program : Isa.program) : prepared =
+  match resolve cfg with
+  | Config.Reference -> Pref (cfg, program)
+  | Config.Decoded ->
+    let key =
+      Progcache.program_fingerprint program ^ "|" ^ cfg_digest cfg
+    in
+    Pdec
+      (Progcache.find_or_add decode_cache ~key (fun () ->
+           Decode.decode ~cfg program))
+
+(** Run one CTA of a prepared program. [pid] is the CTA's program id
+    (non-persistent grids); persistent CTAs leave it at the default and
+    pop work items instead. *)
+let run_prepared ?max_steps (p : prepared) ~(params : Sim.rt list)
+    ~(num_programs : int array) ?(pid = [| 0; 0; 0 |])
+    ~(pop_global : unit -> int) () : Sim.outcome =
+  let outcome =
+    match p with
+    | Pref (cfg, program) ->
+      let cta = Sim.create ~cfg ~program ~params ~num_programs ~pop_global in
+      cta.Sim.pid <- pid;
+      Sim.run ?max_steps cta
+    | Pdec d ->
+      let ctx = Decode.make_ctx d ~params ~num_programs ~pid ~pop_global in
+      run_decoded ?max_steps ctx
+  in
+  ignore (Atomic.fetch_and_add retired outcome.Sim.instructions);
+  outcome
+
+(** Prepare-and-run a single CTA (tests, one-shot launches). *)
+let run_cta ?max_steps ~(cfg : Config.t) ~(program : Isa.program)
+    ~(params : Sim.rt list) ~(num_programs : int array)
+    ?pid ~(pop_global : unit -> int) () : Sim.outcome =
+  run_prepared ?max_steps (prepare ~cfg program) ~params ~num_programs ?pid
+    ~pop_global ()

@@ -43,11 +43,14 @@ let run_grid_functional ~(cfg : Config.t) (program : Isa.program) ~(params : Sim
   let cfg = { cfg with Config.functional = true } in
   let gx, gy, gz = grid in
   let num_programs = [| gx; gy; gz |] in
+  (* Engine resolution and decoding happen once per launch; every CTA
+     of the grid reuses the prepared program. *)
+  let prepared = Engine.prepare ~cfg program in
   if program.Isa.persistent then begin
     let total = gx * gy * gz in
     let pop = queue_of_list (List.init total Fun.id) in
-    let cta = Sim.create ~cfg ~program ~params ~num_programs ~pop_global:pop in
-    (Sim.run cta).Sim.cycles
+    (Engine.run_prepared prepared ~params ~num_programs ~pop_global:pop ())
+      .Sim.cycles
   end
   else begin
     (* CTAs are independent: each gets a fresh [Sim.create] (private
@@ -66,11 +69,9 @@ let run_grid_functional ~(cfg : Config.t) (program : Isa.program) ~(params : Sim
     in
     Tawa_pool.Pool.max_float
       (fun pid ->
-        let cta =
-          Sim.create ~cfg ~program ~params ~num_programs ~pop_global:no_queue
-        in
-        cta.Sim.pid <- pid;
-        (Sim.run cta).Sim.cycles)
+        (Engine.run_prepared prepared ~params ~num_programs ~pid
+           ~pop_global:no_queue ())
+          .Sim.cycles)
       pids
   end
 
@@ -83,25 +84,24 @@ let estimate ?(rep_pid = [| 0; 0; 0 |]) ~(cfg : Config.t) (program : Isa.program
   let gx, gy, gz = grid in
   let total = gx * gy * gz in
   let num_programs = [| gx; gy; gz |] in
+  let prepared = Engine.prepare ~cfg program in
   let cycles, stats, tc_utilization =
     if program.Isa.persistent then begin
       (* One resident CTA per SM; simulate one SM's share. *)
       let share = (total + cfg.Config.num_sms - 1) / cfg.Config.num_sms in
       let tiles = List.init share (fun i -> (i * cfg.Config.num_sms) mod total) in
-      let cta =
-        Sim.create ~cfg ~program ~params ~num_programs
-          ~pop_global:(queue_of_list tiles)
+      let o =
+        Engine.run_prepared prepared ~params ~num_programs
+          ~pop_global:(queue_of_list tiles) ()
       in
-      let o = Sim.run cta in
       let cycles = cfg.Config.launch_overhead_cycles +. o.Sim.cycles in
       (cycles, o.Sim.stats, o.Sim.stats.Sim.tc_busy /. cycles)
     end
     else begin
-      let cta =
-        Sim.create ~cfg ~program ~params ~num_programs ~pop_global:no_queue
+      let o =
+        Engine.run_prepared prepared ~params ~num_programs ~pid:rep_pid
+          ~pop_global:no_queue ()
       in
-      cta.Sim.pid <- rep_pid;
-      let o = Sim.run cta in
       let waves = (total + cfg.Config.num_sms - 1) / cfg.Config.num_sms in
       let cycles =
         cfg.Config.launch_overhead_cycles
@@ -137,14 +137,17 @@ let estimate_grouped ~(cfg : Config.t)
            is the persistence)")
     items;
   let cfg = { cfg with Config.functional = false } in
-  (* Expand items to per-tile work units (program, params). *)
+  (* Expand items to per-tile work units (prepared program, params).
+     Preparing per item (not per unit) decodes each distinct program
+     once before the fan-out. *)
   let units =
     List.concat_map
       (fun (program, params, (gx, gy, gz), _flops) ->
+        let prepared = Engine.prepare ~cfg program in
         List.concat_map
           (fun z ->
             List.concat_map
-              (fun y -> List.map (fun x -> (program, params, [| x; y; z |], (gx, gy, gz))) (List.init gx Fun.id))
+              (fun y -> List.map (fun x -> (prepared, params, [| x; y; z |], (gx, gy, gz))) (List.init gx Fun.id))
               (List.init gy Fun.id))
           (List.init gz Fun.id))
       items
@@ -166,13 +169,9 @@ let estimate_grouped ~(cfg : Config.t)
      engine for any domain count. *)
   let outcomes =
     Tawa_pool.Pool.map_list
-      (fun (program, params, pid, (gx, gy, gz)) ->
-        let cta =
-          Sim.create ~cfg ~program ~params ~num_programs:[| gx; gy; gz |]
-            ~pop_global:no_queue
-        in
-        cta.Sim.pid <- pid;
-        Sim.run cta)
+      (fun (prepared, params, pid, (gx, gy, gz)) ->
+        Engine.run_prepared prepared ~params ~num_programs:[| gx; gy; gz |]
+          ~pid ~pop_global:no_queue ())
       mine
   in
   List.iter

@@ -15,11 +15,20 @@ type t = {
   mutable pending_time : float;           (* latest arrival time this phase *)
   mutable completions : float list;       (* completion times, reverse order *)
   mutable num_completions : int;
+  mutable notify : (t -> unit) option;
+      (* invoked after each phase completion; the event-driven engine
+         hangs its wake-up of blocked waiters here so arrivals
+         re-enqueue waiters directly instead of every scheduler
+         iteration rescanning all warp groups. Survives [reset]: a
+         phase reset clears the completion history, not the waiters. *)
 }
 
 let create ~arrive_count =
   if arrive_count <= 0 then invalid_arg "Mbarrier.create";
-  { arrive_count; pending = 0; pending_time = 0.0; completions = []; num_completions = 0 }
+  { arrive_count; pending = 0; pending_time = 0.0; completions = []; num_completions = 0;
+    notify = None }
+
+let set_notify b f = b.notify <- Some f
 
 let reset b =
   b.pending <- 0;
@@ -38,6 +47,7 @@ let arrive b ~time =
     b.pending_time <- 0.0;
     b.completions <- t :: b.completions;
     b.num_completions <- b.num_completions + 1;
+    (match b.notify with Some f -> f b | None -> ());
     true
   end
   else false

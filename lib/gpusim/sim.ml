@@ -245,6 +245,33 @@ let trace cta unit t0 t1 label =
 
 let wg_unit wg = Printf.sprintf "WG%d(%s)" wg.index (Op.role_to_string wg.stream.Isa.role)
 
+(* Release fence waiters once every live (non-finished) WG has arrived.
+   Checked on [Fence] arrival AND on [Exit]: a WG exiting after a peer
+   blocked on a fence shrinks the live count, which can newly satisfy
+   the release condition — without the re-check the waiter would be
+   stranded in a spurious deadlock. *)
+let release_fences cta =
+  if cta.fence_waiters <> [] then begin
+    let live =
+      Array.fold_left (fun n w -> if w.state <> Finished then n + 1 else n) 0 cta.wgs
+    in
+    if List.length cta.fence_waiters >= live then begin
+      let tmax =
+        List.fold_left
+          (fun acc i -> Float.max acc cta.wgs.(i).time)
+          0.0 cta.fence_waiters
+      in
+      List.iter
+        (fun i ->
+          let w = cta.wgs.(i) in
+          w.time <- tmax +. cta.cfg.Config.fence_cycles;
+          w.state <- Running;
+          w.pc <- w.pc + 1)
+        cta.fence_waiters;
+      cta.fence_waiters <- []
+    end
+  end
+
 (* Execute one instruction of [wg]; returns [false] if the WG blocked
    without advancing (pc unchanged). *)
 let step cta wg =
@@ -329,31 +356,18 @@ let step cta wg =
     true
   | Isa.Tile_cmp { op; dst; a; b; elems } ->
     spend wg (tile_cost cfg coop ~elems ~per_cycle:cfg.cuda_elems_per_cycle);
-    if functional then begin
-      let ta = as_tensor wg a and tb = as_tensor wg b in
-      let out = Tensor.create ~dtype:Dtype.I1 (Tensor.shape ta) in
-      for idx = 0 to Tensor.numel ta - 1 do
-        Tensor.set_flat out idx
-          (if Interp.cmp_pred op (Tensor.get_flat ta idx) (Tensor.get_flat tb idx) then 1.0
-           else 0.0)
-      done;
-      reg_write wg dst (Rtensor out)
-    end
+    if functional then
+      reg_write wg dst
+        (Rtensor (Tensor.cmp (Interp.cmp_pred op) (as_tensor wg a) (as_tensor wg b)))
     else tile_default dst;
     advance ();
     true
   | Isa.Tile_select { dst; cond; a; b; elems } ->
     spend wg (tile_cost cfg coop ~elems ~per_cycle:cfg.cuda_elems_per_cycle);
-    if functional then begin
-      let tc = as_tensor wg cond and ta = as_tensor wg a and tb = as_tensor wg b in
-      let out = Tensor.create ~dtype:(Tensor.dtype ta) (Tensor.shape ta) in
-      for idx = 0 to Tensor.numel ta - 1 do
-        Tensor.set_flat out idx
-          (if Tensor.get_flat tc idx <> 0.0 then Tensor.get_flat ta idx
-           else Tensor.get_flat tb idx)
-      done;
-      reg_write wg dst (Rtensor out)
-    end
+    if functional then
+      reg_write wg dst
+        (Rtensor
+           (Tensor.select (as_tensor wg cond) (as_tensor wg a) (as_tensor wg b)))
     else tile_default dst;
     advance ();
     true
@@ -392,14 +406,8 @@ let step cta wg =
     true
   | Isa.Tile_reshape { dst; src; shape } ->
     spend wg cfg.scalar_cycles;
-    if functional then begin
-      let t = as_tensor wg src in
-      let out = Tensor.create ~dtype:(Tensor.dtype t) (Array.of_list shape) in
-      for idx = 0 to Tensor.numel t - 1 do
-        Tensor.set_flat out idx (Tensor.get_flat t idx)
-      done;
-      reg_write wg dst (Rtensor out)
-    end
+    if functional then
+      reg_write wg dst (Rtensor (Tensor.reshape (as_tensor wg src) (Array.of_list shape)))
     else tile_default dst;
     advance ();
     true
@@ -480,7 +488,7 @@ let step cta wg =
     (* Naive synchronous global load: latency plus a low-efficiency
        per-thread gather. *)
     let bytes = Float.of_int (bytes_of ~rows ~cols dtype) in
-    spend wg (cfg.tma_latency +. (bytes /. 12.0));
+    spend wg (cfg.tma_latency +. (bytes /. cfg.ldg_bytes_per_cycle));
     if functional then begin
       let d = as_desc wg desc in
       match d.buffer with
@@ -593,24 +601,7 @@ let step cta wg =
     (* Arrive; release everyone when all live WGs have arrived. *)
     wg.state <- Blocked On_fence;
     cta.fence_waiters <- wg.index :: cta.fence_waiters;
-    let live =
-      Array.to_list cta.wgs |> List.filter (fun w -> w.state <> Finished) |> List.length
-    in
-    if List.length cta.fence_waiters >= live then begin
-      let tmax =
-        List.fold_left
-          (fun acc i -> Float.max acc cta.wgs.(i).time)
-          0.0 cta.fence_waiters
-      in
-      List.iter
-        (fun i ->
-          let w = cta.wgs.(i) in
-          w.time <- tmax +. cta.cfg.fence_cycles;
-          w.state <- Running;
-          w.pc <- w.pc + 1)
-        cta.fence_waiters;
-      cta.fence_waiters <- []
-    end;
+    release_fences cta;
     true
   | Isa.Sync_reset ->
     Array.iteri
@@ -663,6 +654,7 @@ let step cta wg =
     true
   | Isa.Exit ->
     wg.state <- Finished;
+    release_fences cta;
     true
 
 (* Try to unblock a waiting warp group. *)
@@ -721,7 +713,8 @@ let run ?(max_steps = 50_000_000) (cta : cta) : outcome =
                    Printf.sprintf "mbar %d >= %d (have %d)" bar target
                      (Mbarrier.completions cta.mbars.(bar))
                  | Blocked (On_ring { ring; target }) ->
-                   Printf.sprintf "ring %d >= %d" ring target
+                   Printf.sprintf "ring %d >= %d (have %d)" ring target
+                     (Mbarrier.completions cta.rings.(ring))
                  | Blocked On_fence -> "fence"
                  | Running | Finished -> "?"))
       in

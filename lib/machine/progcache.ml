@@ -136,3 +136,12 @@ let canonicalize_printed s =
     printed form (ops, types, attributes — everything codegen sees). *)
 let kernel_fingerprint (k : Kernel.t) =
   Digest.to_hex (Digest.string (canonicalize_printed (Printer.kernel_to_string k)))
+
+(** Content fingerprint of a machine program: digest of its marshalled
+    form. [Isa.program] is pure data (no closures, no cycles), and
+    register/alloc/barrier ids are assigned densely per program by
+    codegen, so structural equality implies identical marshalling.
+    Keys the decode cache ({!Engine}) the way {!kernel_fingerprint}
+    keys the compile cache. *)
+let program_fingerprint (p : Isa.program) =
+  Digest.to_hex (Digest.string (Marshal.to_string p []))

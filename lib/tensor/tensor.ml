@@ -110,19 +110,114 @@ let cast dtype t =
     out
   end
 
+(* Bulk elementwise kernels. The [quantize] dispatch is hoisted out of
+   the element loop into one dtype match around dtype-specialized
+   loops; F32 (the common functional-mode payload) is the identity, so
+   its loop body is a raw array write. Value-identical to quantizing
+   per element. *)
+
 let map f t =
   let out = create ~dtype:t.dtype t.shape in
-  for i = 0 to numel t - 1 do
-    out.data.(i) <- quantize t.dtype (f t.data.(i))
-  done;
+  let n = Array.length t.data in
+  let src = t.data and dst = out.data in
+  (match t.dtype with
+  | Dtype.F32 ->
+    for i = 0 to n - 1 do
+      dst.(i) <- f src.(i)
+    done
+  | Dtype.F16 ->
+    for i = 0 to n - 1 do
+      dst.(i) <- Fp16.round (f src.(i))
+    done
+  | Dtype.F8E4M3 ->
+    for i = 0 to n - 1 do
+      dst.(i) <- Fp8.round (f src.(i))
+    done
+  | Dtype.I32 ->
+    for i = 0 to n - 1 do
+      dst.(i) <- Float.of_int (int_of_float (f src.(i)))
+    done
+  | Dtype.I1 ->
+    for i = 0 to n - 1 do
+      dst.(i) <- (if f src.(i) <> 0.0 then 1.0 else 0.0)
+    done);
   out
 
 let map2 f a b =
   if not (shape_equal a b) then invalid_arg "Tensor.map2: shape mismatch";
   let out = create ~dtype:a.dtype a.shape in
-  for i = 0 to numel a - 1 do
-    out.data.(i) <- quantize a.dtype (f a.data.(i) b.data.(i))
+  let n = Array.length a.data in
+  let xa = a.data and xb = b.data and dst = out.data in
+  (match a.dtype with
+  | Dtype.F32 ->
+    for i = 0 to n - 1 do
+      dst.(i) <- f xa.(i) xb.(i)
+    done
+  | Dtype.F16 ->
+    for i = 0 to n - 1 do
+      dst.(i) <- Fp16.round (f xa.(i) xb.(i))
+    done
+  | Dtype.F8E4M3 ->
+    for i = 0 to n - 1 do
+      dst.(i) <- Fp8.round (f xa.(i) xb.(i))
+    done
+  | Dtype.I32 ->
+    for i = 0 to n - 1 do
+      dst.(i) <- Float.of_int (int_of_float (f xa.(i) xb.(i)))
+    done
+  | Dtype.I1 ->
+    for i = 0 to n - 1 do
+      dst.(i) <- (if f xa.(i) xb.(i) <> 0.0 then 1.0 else 0.0)
+    done);
+  out
+
+(** Elementwise predicate into a fresh I1 mask: [cmp pred a b].(i) is 1.0
+    iff [pred a.(i) b.(i)]. Iterates over [a]'s extent (the simulator's
+    tile-cmp contract: operands share it by construction). *)
+let cmp pred a b =
+  let out = create ~dtype:Dtype.I1 a.shape in
+  let n = Array.length a.data in
+  let xa = a.data and xb = b.data and dst = out.data in
+  for i = 0 to n - 1 do
+    dst.(i) <- (if pred xa.(i) xb.(i) then 1.0 else 0.0)
   done;
+  out
+
+(** Elementwise select: where [cond] is nonzero take [a], else [b];
+    result has [a]'s dtype, so [b]'s payload requantizes through it
+    (identity when dtypes agree, as per-element [set_flat] did). *)
+let select cond a b =
+  let out = create ~dtype:a.dtype a.shape in
+  let n = Array.length a.data in
+  let xc = cond.data and xa = a.data and xb = b.data and dst = out.data in
+  (match a.dtype with
+  | Dtype.F32 ->
+    for i = 0 to n - 1 do
+      dst.(i) <- (if xc.(i) <> 0.0 then xa.(i) else xb.(i))
+    done
+  | Dtype.F16 ->
+    for i = 0 to n - 1 do
+      dst.(i) <- Fp16.round (if xc.(i) <> 0.0 then xa.(i) else xb.(i))
+    done
+  | Dtype.F8E4M3 ->
+    for i = 0 to n - 1 do
+      dst.(i) <- Fp8.round (if xc.(i) <> 0.0 then xa.(i) else xb.(i))
+    done
+  | Dtype.I32 ->
+    for i = 0 to n - 1 do
+      dst.(i) <- Float.of_int (int_of_float (if xc.(i) <> 0.0 then xa.(i) else xb.(i)))
+    done
+  | Dtype.I1 ->
+    for i = 0 to n - 1 do
+      dst.(i) <- (if (if xc.(i) <> 0.0 then xa.(i) else xb.(i)) <> 0.0 then 1.0 else 0.0)
+    done);
+  out
+
+(** Same payload, new shape. The source is already quantized at its own
+    dtype, so the copy is one flat blit. *)
+let reshape t shape =
+  let out = create ~dtype:t.dtype shape in
+  Array.blit t.data 0 out.data 0 (Array.length t.data);
   out
 
 let iteri f t =

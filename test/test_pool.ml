@@ -98,6 +98,21 @@ let test_nested_map_sequentializes () =
   in
   Alcotest.(check (array int)) "nested results" (Array.init 8 (fun i -> i * 28)) got
 
+let test_sequential_spawns_no_domains () =
+  (* At domain count 1 every entry point must take the plain loop:
+     the lifetime spawn counter stays flat. A genuinely parallel map
+     must move it — proving the counter observes real spawns. *)
+  let xs = Array.init 100 (fun i -> i) in
+  let before = Pool.domains_spawned () in
+  ignore (Pool.map ~domains:1 (fun i -> i + 1) xs);
+  Pool.iter ~domains:1 (fun _ -> ()) xs;
+  ignore (Pool.map ~domains:4 (fun x -> x) [| 7 |]);
+  Alcotest.(check int) "no helpers for sequential work" before
+    (Pool.domains_spawned ());
+  ignore (Pool.map ~domains:4 (fun i -> i * 2) xs);
+  Alcotest.(check bool) "parallel map spawns helpers" true
+    (Pool.domains_spawned () > before)
+
 let test_default_domains_override () =
   with_domains 3 (fun () ->
       Alcotest.(check int) "override wins" 3 (Pool.default_domains ()));
@@ -190,6 +205,8 @@ let suites =
         Alcotest.test_case "iter disjoint writes" `Quick test_iter_disjoint_writes;
         Alcotest.test_case "nested map sequentializes" `Quick
           test_nested_map_sequentializes;
+        Alcotest.test_case "sequential spawns no domains" `Quick
+          test_sequential_spawns_no_domains;
         Alcotest.test_case "default override" `Quick test_default_domains_override;
       ] );
     ( "pool.grid",

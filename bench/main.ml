@@ -176,6 +176,7 @@ let grouped_timing ~ws (group : Workloads.group) =
       stats =
         { Tawa_gpusim.Sim.tc_busy = 0.0; tma_busy = 0.0; tma_bytes = 0.0;
           wgmma_count = 0; tma_count = 0; steps = 0 };
+      profile = None;
     }
   end
 
@@ -643,7 +644,7 @@ type fig_result = {
   r_data : Json.t;
 }
 
-let no_stats = { Tawa_machine.Progcache.hits = 0; misses = 0 }
+let no_stats = { Tawa_machine.Progcache.hits = 0; misses = 0; evictions = 0 }
 
 let timed_pass ~engine ~domains ~silent f =
   Flow.clear_cache ();
@@ -681,6 +682,8 @@ let run_figure ~json (name, f) =
   end
 
 let () =
+  (* Registry timers default to CPU time; the bench reports wall clock. *)
+  Tawa_obs.Registry.set_clock Unix.gettimeofday;
   let args = List.tl (Array.to_list Sys.argv) in
   let json = ref None and names = ref [] and domains = ref None in
   let rec parse = function
@@ -721,7 +724,9 @@ let () =
       List.fold_left
         (fun acc r ->
           { Tawa_machine.Progcache.hits = acc.Tawa_machine.Progcache.hits + r.r_cache.Tawa_machine.Progcache.hits;
-            misses = acc.Tawa_machine.Progcache.misses + r.r_cache.Tawa_machine.Progcache.misses })
+            misses = acc.Tawa_machine.Progcache.misses + r.r_cache.Tawa_machine.Progcache.misses;
+            evictions =
+              acc.Tawa_machine.Progcache.evictions + r.r_cache.Tawa_machine.Progcache.evictions })
         no_stats results
     in
     let ref_total = List.fold_left (fun acc r -> acc +. r.r_ref) 0.0 results in
@@ -760,14 +765,18 @@ let () =
                        ( "compile_cache",
                          Json.Obj
                            [ ("hits", Json.Int r.r_cache.Tawa_machine.Progcache.hits);
-                             ("misses", Json.Int r.r_cache.Tawa_machine.Progcache.misses) ] );
+                             ("misses", Json.Int r.r_cache.Tawa_machine.Progcache.misses);
+                             ("evictions", Json.Int r.r_cache.Tawa_machine.Progcache.evictions) ] );
                        ("data", r.r_data) ])
                  results) );
           ("functional_verification", verify);
           ( "compile_cache",
             Json.Obj
               [ ("hits", Json.Int cache_stats.Tawa_machine.Progcache.hits);
-                ("misses", Json.Int cache_stats.Tawa_machine.Progcache.misses) ] );
+                ("misses", Json.Int cache_stats.Tawa_machine.Progcache.misses);
+                ("evictions", Json.Int cache_stats.Tawa_machine.Progcache.evictions) ] );
+          (* Registry snapshot: progcache/pool gauges, pass timers. *)
+          ("telemetry", Tawa_obs.Registry.to_json ());
           ( "totals",
             Json.Obj
               [ ("reference_seconds", Json.Float ref_total);

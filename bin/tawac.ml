@@ -117,6 +117,20 @@ let do_check path kernel_name d p coop persistent coarse =
 
 (* ------------------------------ run ------------------------------- *)
 
+(* Infer the store-tile shape (rows, cols) from the last tma_store
+   operand's tensor type; drives grid sizing for recognized
+   signatures. *)
+let store_tile (k : Kernel.t) =
+  Op.fold_region
+    (fun acc op ->
+      match op.Op.opcode with
+      | Op.Tma_store -> (
+        match Value.ty (List.nth op.Op.operands (List.length op.Op.operands - 1)) with
+        | Types.TTensor { shape = [ tm; tn ]; _ } -> Some (tm, tn)
+        | _ -> acc)
+      | _ -> acc)
+    None k.Kernel.body
+
 (* Recognize kernel signatures we can drive automatically. *)
 let classify_signature (k : Kernel.t) =
   let tys = List.map Value.ty k.Kernel.params in
@@ -129,7 +143,22 @@ let classify_signature (k : Kernel.t) =
   | [ q; kk; v; o; l ] when List.for_all is_ptr [ q; kk; v; o ] && is_i32 l -> `Attention
   | _ -> `Unknown
 
-let do_run path kernel_name d p coop persistent coarse sw naive m n kk l engine =
+(* Render a CTA profile per the --obs choice. *)
+let emit_profile ~obs ~kernel_name (t : Launch.timing) =
+  match (obs, t.Launch.profile) with
+  | None, _ | _, None -> ()
+  | Some `Table, Some prof ->
+    print_string (Sim.stall_table prof);
+    print_string (Sim.chan_table prof)
+  | Some `Json, Some prof ->
+    print_string
+      (Tawa_obs.Json.to_string
+         (Tawa_obs.Json.Obj
+            [ ("kernel", Tawa_obs.Json.Str kernel_name);
+              ("cycles", Tawa_obs.Json.Float t.Launch.cycles);
+              ("profile", Sim.profile_to_json prof) ]))
+
+let do_run path kernel_name d p coop persistent coarse sw naive m n kk l engine obs =
   try
     let mode =
       if naive then Naive else match sw with Some s -> Sw_pipeline s | None -> Tawa_ws
@@ -147,19 +176,7 @@ let do_run path kernel_name d p coop persistent coarse sw naive m n kk l engine 
              at user-provided sizes with a 16-divisible grid guess from
              the store tile shape. *)
           let tile_m, tile_n =
-            match
-              Op.fold_region
-                (fun acc op ->
-                  match op.Op.opcode with
-                  | Op.Tma_store -> (
-                    match Value.ty (List.nth op.Op.operands (List.length op.Op.operands - 1)) with
-                    | Types.TTensor { shape = [ tm; tn ]; _ } -> Some (tm, tn)
-                    | _ -> acc)
-                  | _ -> acc)
-                None k.Kernel.body
-            with
-            | Some x -> x
-            | None -> (16, 16)
+            match store_tile k with Some x -> x | None -> (16, 16)
           in
           let a = Tensor.random ~dtype:Dtype.F16 ~seed:1 [| m; kk |] in
           let b = Tensor.random ~dtype:Dtype.F16 ~seed:2 [| kk; n |] in
@@ -183,37 +200,11 @@ let do_run path kernel_name d p coop persistent coarse sw naive m n kk l engine 
               ~flops:(Reference.gemm_flops ~m ~n ~k:kk)
           in
           Printf.printf "  simulated: %.2f GFLOPS, %.0f cycles, TC utilization %.0f%%\n"
-            (t.Launch.tflops *. 1e3) t.Launch.cycles (100.0 *. t.Launch.tc_utilization)
+            (t.Launch.tflops *. 1e3) t.Launch.cycles (100.0 *. t.Launch.tc_utilization);
+          emit_profile ~obs ~kernel_name:k.Kernel.name t
         | `Attention ->
-          let d_head =
-            match
-              Op.fold_region
-                (fun acc op ->
-                  match op.Op.opcode with
-                  | Op.Tma_store -> (
-                    match Value.ty (List.nth op.Op.operands (List.length op.Op.operands - 1)) with
-                    | Types.TTensor { shape = [ _; dh ]; _ } -> Some dh
-                    | _ -> acc)
-                  | _ -> acc)
-                None k.Kernel.body
-            with
-            | Some x -> x
-            | None -> 8
-          in
-          let tile_m =
-            match
-              Op.fold_region
-                (fun acc op ->
-                  match op.Op.opcode with
-                  | Op.Tma_store -> (
-                    match Value.ty (List.nth op.Op.operands (List.length op.Op.operands - 1)) with
-                    | Types.TTensor { shape = [ tm; _ ]; _ } -> Some tm
-                    | _ -> acc)
-                  | _ -> acc)
-                None k.Kernel.body
-            with
-            | Some x -> x
-            | None -> 16
+          let tile_m, d_head =
+            match store_tile k with Some x -> x | None -> (16, 8)
           in
           let q = Tensor.random ~dtype:Dtype.F16 ~seed:1 [| l; d_head |] in
           let kt = Tensor.random ~dtype:Dtype.F16 ~seed:2 [| l; d_head |] in
@@ -234,6 +225,111 @@ let do_run path kernel_name d p coop persistent coarse sw naive m n kk l engine 
           Printf.printf "kernel @%s: unrecognized signature; compile-only\n" k.Kernel.name)
       kernels;
     0
+  with
+  | Elaborate.Elab_error (msg, pos) | Parser.Parse_error (msg, pos) ->
+    Printf.eprintf "%s:%d:%d: error: %s\n" path pos.Ast.line pos.Ast.col msg;
+    1
+  | Sim.Sim_error msg ->
+    Printf.eprintf "tawac: simulation failed: %s\n" msg;
+    1
+
+(* ---------------------------- profile ------------------------------ *)
+
+(* Profile a kernel: run the timing simulation of its representative
+   CTA and report where every warp group's cycles went (stall
+   attribution) plus per-channel occupancy. The counters are
+   engine-independent (identical under --engine reference and decoded);
+   --trace additionally re-runs one CTA under the tracing oracle and
+   writes a Chrome trace-event JSON of the per-unit busy/stall
+   intervals (load in Perfetto / chrome://tracing). *)
+let do_profile path kernel_name d p coop persistent coarse sw naive m n kk l engine obs
+    trace_out =
+  try
+    let mode =
+      if naive then Naive else match sw with Some s -> Sw_pipeline s | None -> Tawa_ws
+    in
+    let options = options_of ~d ~p ~coop ~persistent ~coarse in
+    let kernels = read_kernels path kernel_name in
+    if kernels = [] then begin
+      Printf.eprintf "tawac: no kernels found\n";
+      exit 1
+    end;
+    let tcfg = { Config.h100 with Config.engine } in
+    let unknown = ref false in
+    List.iter
+      (fun k ->
+        let c = compile_one ~mode ~options k in
+        let launch =
+          match classify_signature k with
+          | `Gemm ->
+            let tile_m, tile_n =
+              match store_tile k with Some x -> x | None -> (16, 16)
+            in
+            Some
+              ( [ Sim.Rnone; Sim.Rnone; Sim.Rnone; Sim.Rint m; Sim.Rint n; Sim.Rint kk ],
+                (m / tile_m, n / tile_n, 1),
+                Reference.gemm_flops ~m ~n ~k:kk,
+                Printf.sprintf "gemm %dx%dx%d" m n kk )
+          | `Attention ->
+            let tile_m, d_head =
+              match store_tile k with Some x -> x | None -> (16, 8)
+            in
+            Some
+              ( [ Sim.Rnone; Sim.Rnone; Sim.Rnone; Sim.Rnone; Sim.Rint l ],
+                (l / tile_m, 1, 1),
+                Reference.attention_flops ~batch:1 ~heads:1 ~len:l ~head_dim:d_head (),
+                Printf.sprintf "attention L=%d d=%d" l d_head )
+          | `Unknown -> None
+        in
+        match launch with
+        | None ->
+          Printf.printf "kernel @%s: unrecognized signature; cannot profile\n"
+            k.Kernel.name;
+          unknown := true
+        | Some (params, grid, flops, desc) ->
+          let t = Launch.estimate ~cfg:tcfg c.Flow.program ~params ~grid ~flops in
+          (match obs with
+          | `Json -> emit_profile ~obs:(Some `Json) ~kernel_name:k.Kernel.name t
+          | `Table ->
+            Printf.printf
+              "kernel @%s (%s): %.0f cycles end-to-end, %.2f GFLOPS, TC utilization %.0f%%\n"
+              k.Kernel.name desc t.Launch.cycles
+              (t.Launch.tflops *. 1e3)
+              (100.0 *. t.Launch.tc_utilization);
+            (match t.Launch.profile with
+            | Some prof ->
+              Printf.printf "representative CTA: %.0f cycles\n" prof.Sim.wall
+            | None -> ());
+            emit_profile ~obs:(Some `Table) ~kernel_name:k.Kernel.name t);
+          (match trace_out with
+          | None -> ()
+          | Some tpath ->
+            (* One CTA under the tracing oracle; persistent kernels pop
+               one SM's share of the tile queue, mirroring
+               [Launch.estimate]. *)
+            let cfg = { tcfg with Config.collect_trace = true } in
+            let gx, gy, gz = grid in
+            let pop =
+              if c.Flow.program.Tawa_machine.Isa.persistent then begin
+                let total = gx * gy * gz in
+                let share =
+                  (total + cfg.Config.num_sms - 1) / cfg.Config.num_sms
+                in
+                Launch.queue_of_list
+                  (List.init share (fun i -> i * cfg.Config.num_sms mod total))
+              end
+              else Launch.no_queue
+            in
+            let cta =
+              Sim.create ~cfg ~program:c.Flow.program ~params
+                ~num_programs:[| gx; gy; gz |] ~pop_global:pop
+            in
+            ignore (Sim.run cta);
+            Tawa_obs.Trace.to_file tpath
+              (Tawa_obs.Trace.of_intervals (List.rev cta.Sim.events));
+            Printf.printf "Chrome trace written to %s (load in Perfetto)\n" tpath))
+      kernels;
+    if !unknown then 1 else 0
   with
   | Elaborate.Elab_error (msg, pos) | Parser.Parse_error (msg, pos) ->
     Printf.eprintf "%s:%d:%d: error: %s\n" path pos.Ast.line pos.Ast.col msg;
@@ -293,6 +389,25 @@ let engine_arg =
            ~doc:"Simulator execution engine: $(b,decoded) (closure-compiled, the default) \
                  or $(b,reference) (tree-walking oracle). Unset defers to \\$(b,TAWA_ENGINE).")
 
+let obs_conv = Arg.enum [ ("table", `Table); ("json", `Json) ]
+
+let obs_opt_arg =
+  Arg.(value & opt (some obs_conv) None
+       & info [ "obs" ] ~docv:"FORMAT"
+           ~doc:"Also print the CTA profile (stall attribution + channel occupancy) as \
+                 $(b,table) or $(b,json).")
+
+let obs_arg =
+  Arg.(value & opt obs_conv `Table
+       & info [ "obs" ] ~docv:"FORMAT"
+           ~doc:"Output format: $(b,table) (default) or $(b,json).")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"PATH"
+           ~doc:"Write a Chrome trace-event JSON of one CTA's per-unit intervals to \
+                 $(docv) (load in Perfetto or chrome://tracing).")
+
 let compile_cmd =
   let doc = "compile tile kernels through the Tawa pipeline" in
   Cmd.v (Cmd.info "compile" ~doc)
@@ -313,11 +428,25 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const do_run $ file_arg $ kernel_arg $ d_arg $ p_arg $ coop_arg $ persistent_arg
-      $ coarse_arg $ sw_arg $ naive_arg $ m_arg $ n_arg $ k_arg $ l_arg $ engine_arg)
+      $ coarse_arg $ sw_arg $ naive_arg $ m_arg $ n_arg $ k_arg $ l_arg $ engine_arg
+      $ obs_opt_arg)
+
+let profile_cmd =
+  let doc =
+    "profile kernels: per-warp-group stall attribution, channel occupancy, and \
+     optional Chrome trace export"
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const do_profile $ file_arg $ kernel_arg $ d_arg $ p_arg $ coop_arg
+      $ persistent_arg $ coarse_arg $ sw_arg $ naive_arg $ m_arg $ n_arg $ k_arg $ l_arg
+      $ engine_arg $ obs_arg $ trace_arg)
 
 let () =
+  (* Timers in --obs output should report wall clock, not CPU time. *)
+  Tawa_obs.Registry.set_clock Unix.gettimeofday;
   let doc = "Tawa: automatic warp specialization for (simulated) modern GPUs" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "tawac" ~doc ~version:"1.0.0")
-          [ compile_cmd; check_cmd; run_cmd ]))
+          [ compile_cmd; check_cmd; run_cmd; profile_cmd ]))

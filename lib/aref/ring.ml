@@ -7,11 +7,25 @@
     D as long as both sides index slots in iteration order — which is
     exactly what the loop-distribution pass emits. *)
 
-type 'a t = { slots : 'a Semantics.t array }
+(** Occupancy telemetry, updated on every operation. [blocked] counts
+    are the number of times a rule's premise failed to hold (the warp
+    would have waited); [max_occupancy] is the high-water mark of
+    published-but-unread slots — a full ring means the producer ran
+    ahead by the whole depth D. *)
+type stats = {
+  mutable puts : int;
+  mutable gets : int;
+  mutable put_blocked : int;
+  mutable get_blocked : int;
+  mutable max_occupancy : int;
+}
+
+type 'a t = { slots : 'a Semantics.t array; stats : stats }
 
 let create ~depth =
   if depth <= 0 then invalid_arg "Ring.create: depth must be positive";
-  { slots = Array.init depth (fun _ -> Semantics.create ()) }
+  { slots = Array.init depth (fun _ -> Semantics.create ());
+    stats = { puts = 0; gets = 0; put_blocked = 0; get_blocked = 0; max_occupancy = 0 } }
 
 let depth r = Array.length r.slots
 
@@ -19,17 +33,40 @@ let slot_of_iter r k =
   if k < 0 then invalid_arg "Ring.slot_of_iter: negative iteration";
   k mod Array.length r.slots
 
-let put r ~iter v = Semantics.put r.slots.(slot_of_iter r iter) v
-let get r ~iter = Semantics.get r.slots.(slot_of_iter r iter)
-let consumed r ~iter = Semantics.consumed r.slots.(slot_of_iter r iter)
-
-let invariant_holds r = Array.for_all Semantics.invariant_holds r.slots
-
 (** Number of slots currently holding published-but-unread values. *)
 let occupancy r =
   Array.fold_left
     (fun n s -> n + match s.Semantics.state with Semantics.Full _ -> 1 | _ -> 0)
     0 r.slots
+
+let put r ~iter v =
+  match Semantics.put r.slots.(slot_of_iter r iter) v with
+  | Semantics.Ok () as ok ->
+    r.stats.puts <- r.stats.puts + 1;
+    let occ = occupancy r in
+    if occ > r.stats.max_occupancy then r.stats.max_occupancy <- occ;
+    ok
+  | Semantics.Blocked as b ->
+    r.stats.put_blocked <- r.stats.put_blocked + 1;
+    b
+
+let get r ~iter =
+  match Semantics.get r.slots.(slot_of_iter r iter) with
+  | Semantics.Ok _ as ok ->
+    r.stats.gets <- r.stats.gets + 1;
+    ok
+  | Semantics.Blocked as b ->
+    r.stats.get_blocked <- r.stats.get_blocked + 1;
+    b
+
+let consumed r ~iter = Semantics.consumed r.slots.(slot_of_iter r iter)
+
+(** Copy of the telemetry counters (safe to keep across further ops). *)
+let stats r =
+  { puts = r.stats.puts; gets = r.stats.gets; put_blocked = r.stats.put_blocked;
+    get_blocked = r.stats.get_blocked; max_occupancy = r.stats.max_occupancy }
+
+let invariant_holds r = Array.for_all Semantics.invariant_holds r.slots
 
 (** Multicast ring (paper §VI, future work): one producer, [consumers]
     independent readers. A slot becomes reusable only after every

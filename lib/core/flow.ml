@@ -42,7 +42,7 @@ type cache_entry = {
   e_coarse : bool;
 }
 
-let cache : cache_entry Progcache.t = Progcache.create ()
+let cache : cache_entry Progcache.t = Progcache.create ~name:"flow.compile" ()
 
 (** Hit/miss counters of the compiled-program cache. *)
 let cache_stats () = Progcache.stats cache

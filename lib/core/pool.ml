@@ -59,6 +59,12 @@ let spawned = Atomic.make 0
 
 let domains_spawned () = Atomic.get spawned
 
+let () =
+  Tawa_obs.Registry.register_gauge "pool.domains_spawned" (fun () ->
+      Tawa_obs.Registry.Int (Atomic.get spawned));
+  Tawa_obs.Registry.register_gauge "pool.default_domains" (fun () ->
+      Tawa_obs.Registry.Int (default_domains ()))
+
 let resolve_domains domains n =
   if Domain.DLS.get in_worker then 1
   else

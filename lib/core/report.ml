@@ -1,37 +1,9 @@
-(** Plain-text table rendering for the benchmark harness and the
-    examples. *)
+(** Plain-text table rendering and JSON for the benchmark harness and
+    the examples. The implementations live in [Tawa_obs] (so the
+    telemetry registry can render without depending on tawa_core); this
+    module keeps the historical entry points. *)
 
-let render ~(header : string list) (rows : string list list) : string =
-  let all = header :: rows in
-  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
-  let width c =
-    List.fold_left
-      (fun m row -> max m (try String.length (List.nth row c) with _ -> 0))
-      0 all
-  in
-  let widths = List.init ncols width in
-  let line ch =
-    String.concat "-+-" (List.map (fun w -> String.make w ch) widths)
-  in
-  let fmt_row row =
-    String.concat " | "
-      (List.mapi
-         (fun c w ->
-           let s = try List.nth row c with _ -> "" in
-           s ^ String.make (max 0 (w - String.length s)) ' ')
-         widths)
-  in
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf (fmt_row header);
-  Buffer.add_char buf '\n';
-  Buffer.add_string buf (line '-');
-  Buffer.add_char buf '\n';
-  List.iter
-    (fun r ->
-      Buffer.add_string buf (fmt_row r);
-      Buffer.add_char buf '\n')
-    rows;
-  Buffer.contents buf
+let render = Tawa_obs.Tbl.render
 
 let f1 x = Printf.sprintf "%.1f" x
 let f2 x = Printf.sprintf "%.2f" x
@@ -47,82 +19,5 @@ let geomean xs =
     exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)
 
 (** Minimal JSON emitter for the machine-readable bench trajectory
-    ([BENCH_*.json]). No external dependency; non-finite floats render
-    as [null] so the output always parses. *)
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  let escape s =
-    let buf = Buffer.create (String.length s + 8) in
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string buf "\\\""
-        | '\\' -> Buffer.add_string buf "\\\\"
-        | '\n' -> Buffer.add_string buf "\\n"
-        | '\r' -> Buffer.add_string buf "\\r"
-        | '\t' -> Buffer.add_string buf "\\t"
-        | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char buf c)
-      s;
-    Buffer.contents buf
-
-  let rec write buf indent v =
-    let pad n = String.make n ' ' in
-    match v with
-    | Null -> Buffer.add_string buf "null"
-    | Bool b -> Buffer.add_string buf (string_of_bool b)
-    | Int i -> Buffer.add_string buf (string_of_int i)
-    | Float f ->
-      if Float.is_finite f then
-        (* Shortest representation that round-trips. *)
-        Buffer.add_string buf (Printf.sprintf "%.12g" f)
-      else Buffer.add_string buf "null"
-    | Str s ->
-      Buffer.add_char buf '"';
-      Buffer.add_string buf (escape s);
-      Buffer.add_char buf '"'
-    | List [] -> Buffer.add_string buf "[]"
-    | List xs ->
-      Buffer.add_string buf "[";
-      List.iteri
-        (fun i x ->
-          if i > 0 then Buffer.add_string buf ", ";
-          write buf indent x)
-        xs;
-      Buffer.add_string buf "]"
-    | Obj [] -> Buffer.add_string buf "{}"
-    | Obj kvs ->
-      Buffer.add_string buf "{\n";
-      List.iteri
-        (fun i (k, x) ->
-          if i > 0 then Buffer.add_string buf ",\n";
-          Buffer.add_string buf (pad (indent + 2));
-          Buffer.add_char buf '"';
-          Buffer.add_string buf (escape k);
-          Buffer.add_string buf "\": ";
-          write buf (indent + 2) x)
-        kvs;
-      Buffer.add_char buf '\n';
-      Buffer.add_string buf (pad indent);
-      Buffer.add_char buf '}'
-
-  let to_string v =
-    let buf = Buffer.create 4096 in
-    write buf 0 v;
-    Buffer.add_char buf '\n';
-    Buffer.contents buf
-
-  let to_file path v =
-    let oc = open_out path in
-    output_string oc (to_string v);
-    close_out oc
-end
+    ([BENCH_*.json]). See [Tawa_obs.Json]. *)
+module Json = Tawa_obs.Json

@@ -39,6 +39,15 @@ open Tawa_machine
 
 let err fmt = Format.kasprintf (fun s -> raise (Sim.Sim_error s)) fmt
 
+(* Stall buckets — same indices and charging points as the reference
+   engine (see the constants atop sim.ml). *)
+let b_compute = Tawa_obs.Stall.compute
+let b_tma = Tawa_obs.Stall.tma
+let b_tc = Tawa_obs.Stall.tensorcore
+let b_mbar = Tawa_obs.Stall.mbar_wait
+let b_ring = Tawa_obs.Stall.ring_wait
+let b_fence = Tawa_obs.Stall.fence_wait
+
 (* ----------------------- typed register planes -------------------- *)
 
 (* Tag byte per register selecting the authoritative plane. Registers
@@ -222,6 +231,7 @@ type wg = {
   mutable busy : float;
   mutable instret : int;
   mutable in_ready : bool; (* membership flag for the ready heap *)
+  buckets : float array; (* per-Stall-bucket cycle attribution *)
 }
 
 and ectx = {
@@ -246,6 +256,9 @@ and ectx = {
   mbar_waiters : (int * wg) list array;
   ring_waiters : (int * wg) list array;
   ready : ready;
+  mbar_wait : float array; (* per-channel blocked time (excl. sync cost) *)
+  ring_wait : float array;
+  num_rings : int; (* program ring count; ring arrays are padded to >= 1 *)
 }
 
 and code = ectx -> wg -> unit
@@ -340,9 +353,13 @@ let smem_get ctx alloc slot =
 
 (* ------------------------- event wake-ups ------------------------- *)
 
-let spend w c =
+let spend w b c =
   w.time <- w.time +. c;
-  w.busy <- w.busy +. c
+  w.busy <- w.busy +. c;
+  w.buckets.(b) <- w.buckets.(b) +. c
+
+(* Blocked-time jump attribution; same guard as [Sim.stalled]. *)
+let stalled w b dt = if dt > 0.0 then w.buckets.(b) <- w.buckets.(b) +. dt
 
 (* Wake every waiter of barrier [i] whose target is now satisfied.
    The unblock arithmetic matches [Sim.try_unblock] exactly: the
@@ -358,8 +375,13 @@ let wake_mbar ctx i bar =
       List.filter
         (fun (target, w) ->
           if have >= target then begin
-            w.time <- Float.max w.time (Mbarrier.completion_time bar target)
-                      +. ctx.cfg.Config.mbar_cycles;
+            let ct = Mbarrier.completion_time bar target in
+            let nt = Float.max w.time ct +. ctx.cfg.Config.mbar_cycles in
+            stalled w b_mbar (nt -. w.time);
+            ctx.mbar_wait.(i) <-
+              ctx.mbar_wait.(i) +. Float.max 0.0 (Float.max w.time ct -. w.time);
+            Mbarrier.note_consumed bar ~target;
+            w.time <- nt;
             w.state <- Sim.Running;
             w.pc <- w.pc + 1;
             ready_push ctx w;
@@ -379,8 +401,13 @@ let wake_ring ctx i ring =
       List.filter
         (fun (target, w) ->
           if have >= target then begin
-            w.time <- Float.max w.time (Mbarrier.completion_time ring target)
-                      +. ctx.cfg.Config.scalar_cycles;
+            let ct = Mbarrier.completion_time ring target in
+            let nt = Float.max w.time ct +. ctx.cfg.Config.scalar_cycles in
+            stalled w b_ring (nt -. w.time);
+            ctx.ring_wait.(i) <-
+              ctx.ring_wait.(i) +. Float.max 0.0 (Float.max w.time ct -. w.time);
+            Mbarrier.note_consumed ring ~target;
+            w.time <- nt;
             w.state <- Sim.Running;
             w.pc <- w.pc + 1;
             ready_push ctx w;
@@ -409,7 +436,9 @@ let release_fences ctx =
       List.iter
         (fun i ->
           let w = ctx.wgs.(i) in
-          w.time <- tmax +. ctx.cfg.Config.fence_cycles;
+          let nt = tmax +. ctx.cfg.Config.fence_cycles in
+          stalled w b_fence (nt -. w.time);
+          w.time <- nt;
           w.state <- Sim.Running;
           w.pc <- w.pc + 1;
           ready_push ctx w)
@@ -526,7 +555,7 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
   match i with
   | Isa.Nop ->
     fun _ctx w ->
-      spend w 1.0;
+      spend w b_compute 1.0;
       w.pc <- w.pc + 1
   | Isa.Alu { op; dst; a; b } ->
     let iop = int_binop op in
@@ -541,7 +570,7 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
        else if ta <= t_float && tb <= t_float then
          set_float p dst (fop (fa p) (fb p))
        else err "sim: bad ALU operands");
-      spend w sc;
+      spend w b_compute sc;
       w.pc <- w.pc + 1
   | Isa.Cmp { op; dst; a; b } ->
     let pred_i : int -> int -> bool = fun x y -> Interp.cmp_pred op x y in
@@ -553,13 +582,13 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
       let p = w.planes in
       (if ka p = t_int && kb p = t_int then set_bool p dst (pred_i (ia p) (ib p))
        else set_bool p dst (pred_f (ca p) (cb p)));
-      spend w sc;
+      spend w b_compute sc;
       w.pc <- w.pc + 1
   | Isa.Mov { dst; src } ->
     let put = put_of dst src in
     fun _ctx w ->
       put w.planes;
-      spend w sc;
+      spend w b_compute sc;
       w.pc <- w.pc + 1
   | Isa.Sel { dst; cond; a; b } ->
     let bc = bget cond in
@@ -567,18 +596,18 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
     fun _ctx w ->
       let p = w.planes in
       if bc p then put_a p else put_b p;
-      spend w sc;
+      spend w b_compute sc;
       w.pc <- w.pc + 1
   | Isa.Pid { dst; axis } ->
     fun ctx w ->
       let pid = match w.wg_pid with Some p -> p | None -> ctx.pid in
       set_int w.planes dst pid.(axis);
-      spend w sc;
+      spend w b_compute sc;
       w.pc <- w.pc + 1
   | Isa.Npid { dst; axis } ->
     fun ctx w ->
       set_int w.planes dst ctx.num_programs.(axis);
-      spend w sc;
+      spend w b_compute sc;
       w.pc <- w.pc + 1
   | Isa.Mkdesc { dst; ptr; dtype; _ } ->
     let read_ptr : planes -> Tensor.t option =
@@ -604,7 +633,7 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
     fun _ctx w ->
       let buffer = read_ptr w.planes in
       set_desc w.planes dst { Sim.buffer; ddtype = dtype };
-      spend w 20.0;
+      spend w b_compute 20.0;
       w.pc <- w.pc + 1
   | Isa.Tile_unop { op; dst; src; elems } ->
     let per_cycle =
@@ -618,13 +647,13 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
       let f = Interp.float_unop op in
       let ts = tget src in
       fun _ctx w ->
-        spend w c;
+        spend w b_compute c;
         set_tensor w.planes dst (Tensor.map f (ts w.planes));
         w.pc <- w.pc + 1
     end
     else
       fun _ctx w ->
-        spend w c;
+        spend w b_compute c;
         set_none w.planes dst;
         w.pc <- w.pc + 1
   | Isa.Tile_binop { op; dst; a; b; elems } ->
@@ -633,14 +662,14 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
       let f = Interp.float_binop op in
       let ta = tget a and tb = tget b in
       fun _ctx w ->
-        spend w c;
+        spend w b_compute c;
         let p = w.planes in
         set_tensor p dst (Tensor.map2 f (ta p) (tb p));
         w.pc <- w.pc + 1
     end
     else
       fun _ctx w ->
-        spend w c;
+        spend w b_compute c;
         set_none w.planes dst;
         w.pc <- w.pc + 1
   | Isa.Tile_cmp { op; dst; a; b; elems } ->
@@ -649,14 +678,14 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
       let pred : float -> float -> bool = fun x y -> Interp.cmp_pred op x y in
       let ta = tget a and tb = tget b in
       fun _ctx w ->
-        spend w c;
+        spend w b_compute c;
         let p = w.planes in
         set_tensor p dst (Tensor.cmp pred (ta p) (tb p));
         w.pc <- w.pc + 1
     end
     else
       fun _ctx w ->
-        spend w c;
+        spend w b_compute c;
         set_none w.planes dst;
         w.pc <- w.pc + 1
   | Isa.Tile_select { dst; cond; a; b; elems } ->
@@ -664,14 +693,14 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
     if functional then begin
       let tc = tget cond and ta = tget a and tb = tget b in
       fun _ctx w ->
-        spend w c;
+        spend w b_compute c;
         let p = w.planes in
         set_tensor p dst (Tensor.select (tc p) (ta p) (tb p));
         w.pc <- w.pc + 1
     end
     else
       fun _ctx w ->
-        spend w c;
+        spend w b_compute c;
         set_none w.planes dst;
         w.pc <- w.pc + 1
   | Isa.Tile_cast { dst; src; dtype; elems } ->
@@ -679,13 +708,13 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
     if functional then begin
       let ts = tget src in
       fun _ctx w ->
-        spend w c;
+        spend w b_compute c;
         set_tensor w.planes dst (Tensor.cast dtype (ts w.planes));
         w.pc <- w.pc + 1
     end
     else
       fun _ctx w ->
-        spend w c;
+        spend w b_compute c;
         set_none w.planes dst;
         w.pc <- w.pc + 1
   | Isa.Tile_splat { dst; src; shape; dtype } ->
@@ -695,7 +724,7 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
       let shape = Array.of_list shape in
       let fs = fget src in
       fun _ctx w ->
-        spend w c;
+        spend w b_compute c;
         let t = Tensor.create ~dtype shape in
         Tensor.fill t (fs w.planes);
         set_tensor w.planes dst t;
@@ -703,20 +732,20 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
     end
     else
       fun _ctx w ->
-        spend w c;
+        spend w b_compute c;
         set_none w.planes dst;
         w.pc <- w.pc + 1
   | Isa.Tile_iota { dst; n } ->
     let c = tile_cost ~elems:n ~per_cycle:cfg.Config.cuda_elems_per_cycle in
     if functional then
       fun _ctx w ->
-        spend w c;
+        spend w b_compute c;
         set_tensor w.planes dst
           (Tensor.init ~dtype:Dtype.I32 [| n |] (fun i -> Float.of_int i.(0)));
         w.pc <- w.pc + 1
     else
       fun _ctx w ->
-        spend w c;
+        spend w b_compute c;
         set_none w.planes dst;
         w.pc <- w.pc + 1
   | Isa.Tile_bcast { dst; src; shape } ->
@@ -725,13 +754,13 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
     if functional then begin
       let ts = tget src in
       fun _ctx w ->
-        spend w c;
+        spend w b_compute c;
         set_tensor w.planes dst (Interp.broadcast_to (ts w.planes) shape);
         w.pc <- w.pc + 1
     end
     else
       fun _ctx w ->
-        spend w c;
+        spend w b_compute c;
         set_none w.planes dst;
         w.pc <- w.pc + 1
   | Isa.Tile_reshape { dst; src; shape } ->
@@ -739,13 +768,13 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
       let shape = Array.of_list shape in
       let ts = tget src in
       fun _ctx w ->
-        spend w sc;
+        spend w b_compute sc;
         set_tensor w.planes dst (Tensor.reshape (ts w.planes) shape);
         w.pc <- w.pc + 1
     end
     else
       fun _ctx w ->
-        spend w sc;
+        spend w b_compute sc;
         set_none w.planes dst;
         w.pc <- w.pc + 1
   | Isa.Tile_reduce { kind; axis; dst; src; elems } ->
@@ -753,13 +782,13 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
     if functional then begin
       let ts = tget src in
       fun _ctx w ->
-        spend w c;
+        spend w b_compute c;
         set_tensor w.planes dst (Interp.reduce_tensor kind axis (ts w.planes));
         w.pc <- w.pc + 1
     end
     else
       fun _ctx w ->
-        spend w c;
+        spend w b_compute c;
         set_none w.planes dst;
         w.pc <- w.pc + 1
   | Isa.Tile_trans { dst; src; elems } ->
@@ -767,13 +796,13 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
     if functional then begin
       let ts = tget src in
       fun _ctx w ->
-        spend w c;
+        spend w b_compute c;
         set_tensor w.planes dst (Tensor.transpose2 (ts w.planes));
         w.pc <- w.pc + 1
     end
     else
       fun _ctx w ->
-        spend w c;
+        spend w b_compute c;
         set_none w.planes dst;
         w.pc <- w.pc + 1
   | Isa.Tma_load { desc; offs; dst; rows; cols; dtype; full } ->
@@ -784,7 +813,7 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
     let bar_base = full.Isa.base in
     let bar_idx = iget full.Isa.index in
     let timing ctx w =
-      spend w issue;
+      spend w b_tma issue;
       let start = Float.max ctx.tma_free w.time in
       ctx.tma_free <- start +. busy;
       ctx.stats.Sim.tma_busy <- ctx.stats.Sim.tma_busy +. busy;
@@ -827,7 +856,7 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
     let fbytes = Float.of_int bytes in
     let latency = cfg.Config.tma_latency in
     let timing ctx w =
-      spend w issue;
+      spend w b_tma issue;
       let start = Float.max ctx.tma_free w.time in
       ctx.tma_free <- start +. busy;
       ctx.stats.Sim.tma_busy <- ctx.stats.Sim.tma_busy +. busy;
@@ -863,8 +892,12 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
       let tgt = itgt w.planes in
       match Mbarrier.try_wait ctx.rings.(ring) ~target:tgt with
       | Some t ->
+        let wait = Float.max w.time t -. w.time in
+        stalled w b_ring wait;
+        ctx.ring_wait.(ring) <- ctx.ring_wait.(ring) +. Float.max 0.0 wait;
+        Mbarrier.note_consumed ctx.rings.(ring) ~target:tgt;
         w.time <- Float.max w.time t;
-        spend w sc;
+        spend w b_ring sc;
         w.pc <- w.pc + 1
       | None ->
         w.state <- Sim.Blocked (Sim.On_ring { ring; target = tgt });
@@ -876,7 +909,7 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
       let dd = dget desc in
       let i0, i1 = compile_offs offs in
       fun _ctx w ->
-        spend w cost;
+        spend w b_tma cost;
         let p = w.planes in
         let d = dd p in
         (match d.Sim.buffer with
@@ -889,7 +922,7 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
     end
     else
       fun _ctx w ->
-        spend w cost;
+        spend w b_tma cost;
         set_none w.planes dst;
         w.pc <- w.pc + 1
   | Isa.Lds { dst; src; shape; dtype } ->
@@ -902,7 +935,7 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
       let islot = iget src.Isa.src.Isa.slot in
       let transposed = src.Isa.transposed in
       fun ctx w ->
-        spend w cost;
+        spend w b_tma cost;
         let t = smem_get ctx alloc (islot w.planes) in
         let t = if transposed then Tensor.transpose2 t else t in
         set_tensor w.planes dst t;
@@ -910,7 +943,7 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
     end
     else
       fun _ctx w ->
-        spend w cost;
+        spend w b_tma cost;
         set_none w.planes dst;
         w.pc <- w.pc + 1
   | Isa.Sts { src; dst; elems; dtype } ->
@@ -923,14 +956,14 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
       let alloc = dst.Isa.alloc in
       let islot = iget dst.Isa.slot in
       fun ctx w ->
-        spend w cost;
+        spend w b_tma cost;
         let p = w.planes in
         smem_set ctx alloc (islot p) (ts p);
         w.pc <- w.pc + 1
     end
     else
       fun _ctx w ->
-        spend w cost;
+        spend w b_tma cost;
         w.pc <- w.pc + 1
   | Isa.Stg { desc; offs; src; rows; cols } ->
     let dd = dget desc in
@@ -944,7 +977,7 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
         let p = w.planes in
         let d = dd p in
         let bytes = Float.of_int (Sim.bytes_of ~rows ~cols d.Sim.ddtype) in
-        spend w ((bytes /. stg_bpc /. coop_f) +. stg_lat);
+        spend w b_tma ((bytes /. stg_bpc /. coop_f) +. stg_lat);
         (match d.Sim.buffer with
         | Some buf ->
           let r0 = i0 p in
@@ -957,13 +990,13 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
       fun _ctx w ->
         let d = dd w.planes in
         let bytes = Float.of_int (Sim.bytes_of ~rows ~cols d.Sim.ddtype) in
-        spend w ((bytes /. stg_bpc /. coop_f) +. stg_lat);
+        spend w b_tma ((bytes /. stg_bpc /. coop_f) +. stg_lat);
         w.pc <- w.pc + 1
   | Isa.Mbar_arrive { base; index } ->
     let idx = iget index in
     let mc = cfg.Config.mbar_cycles in
     fun ctx w ->
-      spend w mc;
+      spend w b_mbar mc;
       ignore (Mbarrier.arrive ctx.mbars.(base + idx w.planes) ~time:w.time);
       w.pc <- w.pc + 1
   | Isa.Mbar_wait { bar; target } ->
@@ -977,8 +1010,12 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
       let tgt = itgt p in
       match Mbarrier.try_wait ctx.mbars.(b) ~target:tgt with
       | Some t ->
+        let wait = Float.max w.time t -. w.time in
+        stalled w b_mbar wait;
+        ctx.mbar_wait.(b) <- ctx.mbar_wait.(b) +. Float.max 0.0 wait;
+        Mbarrier.note_consumed ctx.mbars.(b) ~target:tgt;
         w.time <- Float.max w.time t;
-        spend w mc;
+        spend w b_mbar mc;
         w.pc <- w.pc + 1
       | None ->
         w.state <- Sim.Blocked (Sim.On_mbar { bar = b; target = tgt });
@@ -989,7 +1026,7 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
     let pen1000 = cfg.Config.wgmma_depth_penalty /. 1000.0 in
     let denom = Config.tc_flops_per_cycle cfg dtype *. cfg.Config.tc_efficiency in
     let timing ctx w =
-      spend w issue;
+      spend w b_tc issue;
       let pressure =
         1.0 +. (pen1000 *. Float.of_int (max 0 (Queue.length w.wgmma_groups - 1)))
       in
@@ -1045,15 +1082,16 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
         Queue.push w.wgmma_open w.wgmma_groups;
         w.wgmma_open <- -1.0
       end;
-      spend w 1.0;
+      spend w b_tc 1.0;
       w.pc <- w.pc + 1
   | Isa.Wgmma_wait n ->
     fun _ctx w ->
       while Queue.length w.wgmma_groups > n do
         let t = Queue.pop w.wgmma_groups in
+        stalled w b_tc (t -. w.time);
         w.time <- Float.max w.time t
       done;
-      spend w 1.0;
+      spend w b_tc 1.0;
       w.pc <- w.pc + 1
   | Isa.Fence ->
     fun ctx w ->
@@ -1064,7 +1102,7 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
     let mc = cfg.Config.mbar_cycles in
     fun ctx w ->
       Array.iter Mbarrier.reset ctx.rings;
-      spend w mc;
+      spend w b_mbar mc;
       w.pc <- w.pc + 1
   | Isa.Workq_pop { dst } ->
     let cost = cfg.Config.workq_pop_cycles in
@@ -1088,21 +1126,21 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
         w.wg_pid <- Some [| x; y; z |]
       end;
       set_int w.planes dst v;
-      spend w cost;
+      spend w b_compute cost;
       w.pc <- w.pc + 1
   | Isa.Bra { target } ->
     fun _ctx w ->
-      spend w sc;
+      spend w b_compute sc;
       w.pc <- target
   | Isa.Brz { cond; target } ->
     let bc = bget cond in
     fun _ctx w ->
-      spend w sc;
+      spend w b_compute sc;
       if bc w.planes then w.pc <- w.pc + 1 else w.pc <- target
   | Isa.Brnz { cond; target } ->
     let bc = bget cond in
     fun _ctx w ->
-      spend w sc;
+      spend w b_compute sc;
       if bc w.planes then w.pc <- target else w.pc <- w.pc + 1
   | Isa.Exit ->
     fun ctx w ->
@@ -1146,7 +1184,7 @@ let decode ~(cfg : Config.t) (program : Isa.program) : t =
                      (fun i b -> if reset_mask.(i) then Mbarrier.reset b)
                      ctx.mbars;
                    Array.iter Mbarrier.reset ctx.rings;
-                   spend w mc;
+                   spend w b_mbar mc;
                    w.pc <- w.pc + 1
                | _ -> compile_instr ~cfg ~coop:s.Isa.coop instr)
              s.Isa.instrs)
@@ -1210,6 +1248,7 @@ let make_ctx (d : t) ~(params : Sim.rt list) ~(num_programs : int array)
           busy = 0.0;
           instret = 0;
           in_ready = false;
+          buckets = Array.make Tawa_obs.Stall.num 0.0;
         })
       d.d_codes
   in
@@ -1247,8 +1286,38 @@ let make_ctx (d : t) ~(params : Sim.rt list) ~(num_programs : int array)
       mbar_waiters = Array.make (max 1 program.Isa.num_mbarriers) [];
       ring_waiters = Array.make (max 1 program.Isa.num_rings) [];
       ready = { heap = [||]; n = 0 };
+      mbar_wait = Array.make (max 1 program.Isa.num_mbarriers) 0.0;
+      ring_wait = Array.make (max 1 program.Isa.num_rings) 0.0;
+      num_rings = program.Isa.num_rings;
     }
   in
   Array.iteri (fun i b -> Mbarrier.set_notify b (fun bar -> wake_mbar ctx i bar)) ctx.mbars;
   Array.iteri (fun i b -> Mbarrier.set_notify b (fun ring -> wake_ring ctx i ring)) ctx.rings;
   ctx
+
+(* ------------------------- profiling ------------------------------ *)
+
+(* Stall/channel profile of a finished context; must agree exactly with
+   [Sim.profile_of_cta] on the same program (the charging points above
+   mirror the reference's). *)
+let profile_of_ctx ~wall (ctx : ectx) : Sim.profile =
+  let wg_prof (w : wg) =
+    let b = Array.copy w.buckets in
+    b.(Tawa_obs.Stall.idle) <- Float.max 0.0 (wall -. w.time);
+    {
+      Sim.p_index = w.index;
+      p_role = Op.role_to_string w.role;
+      p_time = w.time;
+      p_busy = w.busy;
+      p_instret = w.instret;
+      p_buckets = b;
+    }
+  in
+  {
+    Sim.wall;
+    wg_profs = Array.map wg_prof ctx.wgs;
+    chan_profs =
+      Sim.chan_profiles ~mbars:ctx.mbars ~rings:ctx.rings
+        ~num_rings:ctx.num_rings ~mbar_wait:ctx.mbar_wait
+        ~ring_wait:ctx.ring_wait;
+  }

@@ -83,6 +83,7 @@ let run_decoded ?(max_steps = 50_000_000) (ctx : Decode.ectx) : Sim.outcome =
     Sim.cycles;
     stats = ctx.Decode.stats;
     instructions = Array.fold_left (fun a w -> a + w.Decode.instret) 0 wgs;
+    profile = Decode.profile_of_ctx ~wall:cycles ctx;
   }
 
 (* ------------------------ engine selection ------------------------ *)
@@ -101,20 +102,44 @@ let env_engine () =
     | "decoded" | "dec" | "closure" -> Some Config.Decoded
     | _ -> None)
 
-let resolve (cfg : Config.t) : Config.engine =
-  if cfg.Config.collect_trace then Config.Reference
-  else
-    match Atomic.get forced with
+let log_src = Logs.Src.create "tawa.engine" ~doc:"Engine selection"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Interval-level traces ([collect_trace]) remain oracle-only: the
+   decoded engine never records timeline events. Counter-level
+   telemetry (stall buckets, channel occupancy) is engine-independent,
+   so forcing the oracle is only worth a warning, not an error — and
+   only once per process. *)
+let warned_trace_swap = Atomic.make false
+
+let resolve_untraced (cfg : Config.t) : Config.engine =
+  match Atomic.get forced with
+  | Some e -> e
+  | None -> (
+    match cfg.Config.engine with
     | Some e -> e
     | None -> (
-      match cfg.Config.engine with
-      | Some e -> e
-      | None -> (
-        match env_engine () with Some e -> e | None -> Config.Decoded))
+      match env_engine () with Some e -> e | None -> Config.Decoded))
+
+let resolve (cfg : Config.t) : Config.engine =
+  if cfg.Config.collect_trace then begin
+    (if
+       resolve_untraced cfg = Config.Decoded
+       && not (Atomic.exchange warned_trace_swap true)
+     then
+       Log.warn (fun m ->
+           m
+             "collect_trace forces the reference engine (interval traces are \
+              oracle-only); stall/channel counters would be identical under \
+              the decoded engine"));
+    Config.Reference
+  end
+  else resolve_untraced cfg
 
 (* ------------------------- decode caching ------------------------- *)
 
-let decode_cache : Decode.t Progcache.t = Progcache.create ()
+let decode_cache : Decode.t Progcache.t = Progcache.create ~name:"engine.decode" ()
 let clear_decode_cache () = Progcache.clear decode_cache
 let decode_cache_stats () = Progcache.stats decode_cache
 

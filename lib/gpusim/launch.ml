@@ -21,6 +21,10 @@ type timing = {
   tflops : float;
   tc_utilization : float; (* tensor-core busy fraction of total time *)
   stats : Sim.stats;
+  profile : Sim.profile option;
+      (* stall/channel attribution of the simulated representative CTA;
+         [None] for aggregated launches (grouped, external baselines)
+         where no single CTA is representative *)
 }
 
 let queue_of_list tiles =
@@ -85,7 +89,7 @@ let estimate ?(rep_pid = [| 0; 0; 0 |]) ~(cfg : Config.t) (program : Isa.program
   let total = gx * gy * gz in
   let num_programs = [| gx; gy; gz |] in
   let prepared = Engine.prepare ~cfg program in
-  let cycles, stats, tc_utilization =
+  let cycles, stats, tc_utilization, profile =
     if program.Isa.persistent then begin
       (* One resident CTA per SM; simulate one SM's share. *)
       let share = (total + cfg.Config.num_sms - 1) / cfg.Config.num_sms in
@@ -95,7 +99,7 @@ let estimate ?(rep_pid = [| 0; 0; 0 |]) ~(cfg : Config.t) (program : Isa.program
           ~pop_global:(queue_of_list tiles) ()
       in
       let cycles = cfg.Config.launch_overhead_cycles +. o.Sim.cycles in
-      (cycles, o.Sim.stats, o.Sim.stats.Sim.tc_busy /. cycles)
+      (cycles, o.Sim.stats, o.Sim.stats.Sim.tc_busy /. cycles, Some o.Sim.profile)
     end
     else begin
       let o =
@@ -113,11 +117,13 @@ let estimate ?(rep_pid = [| 0; 0; 0 |]) ~(cfg : Config.t) (program : Isa.program
          launch). *)
       ( cycles,
         o.Sim.stats,
-        o.Sim.stats.Sim.tc_busy /. (o.Sim.cycles +. cfg.Config.cta_launch_cycles) )
+        o.Sim.stats.Sim.tc_busy /. (o.Sim.cycles +. cfg.Config.cta_launch_cycles),
+        Some o.Sim.profile )
     end
   in
   let seconds = Config.cycles_to_seconds cfg cycles in
-  { cycles; seconds; tflops = Config.tflops cfg ~flops ~cycles; tc_utilization; stats }
+  { cycles; seconds; tflops = Config.tflops cfg ~flops ~cycles; tc_utilization; stats;
+    profile }
 
 (** Heterogeneous persistent launch (grouped GEMM, Fig. 9): work items
     carry their own parameter bindings; one resident CTA per SM pops
@@ -192,4 +198,5 @@ let estimate_grouped ~(cfg : Config.t)
     tflops = Config.tflops cfg ~flops ~cycles;
     tc_utilization = stats.Sim.tc_busy /. cycles;
     stats;
+    profile = None;
   }

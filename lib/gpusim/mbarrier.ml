@@ -21,12 +21,23 @@ type t = {
          re-enqueue waiters directly instead of every scheduler
          iteration rescanning all warp groups. Survives [reset]: a
          phase reset clears the completion history, not the waiters. *)
+  (* Telemetry (DESIGN.md §10). Cumulative over the barrier's lifetime,
+     surviving [reset]; none of it feeds back into timing. *)
+  mutable arrivals_total : int;           (* every [arrive] call *)
+  mutable completions_total : int;        (* phase completions, incl. pre-reset *)
+  mutable max_pending : int;              (* high-water of in-phase arrivals *)
+  mutable consumed : int;                 (* highest target successfully waited
+                                             since the last [reset] *)
+  mutable max_inflight : int;             (* high-water of completions a consumer
+                                             had not yet waited on *)
 }
 
 let create ~arrive_count =
   if arrive_count <= 0 then invalid_arg "Mbarrier.create";
   { arrive_count; pending = 0; pending_time = 0.0; completions = []; num_completions = 0;
-    notify = None }
+    notify = None;
+    arrivals_total = 0; completions_total = 0; max_pending = 0; consumed = 0;
+    max_inflight = 0 }
 
 let set_notify b f = b.notify <- Some f
 
@@ -34,12 +45,17 @@ let reset b =
   b.pending <- 0;
   b.pending_time <- 0.0;
   b.completions <- [];
-  b.num_completions <- 0
+  b.num_completions <- 0;
+  (* Wait targets restart with the phase numbering; cumulative telemetry
+     (arrivals/completions/high-waters) survives. *)
+  b.consumed <- 0
 
 (** Record one arrival at [time]. Returns [true] when this arrival
     completes a phase. *)
 let arrive b ~time =
   b.pending <- b.pending + 1;
+  b.arrivals_total <- b.arrivals_total + 1;
+  if b.pending > b.max_pending then b.max_pending <- b.pending;
   if time > b.pending_time then b.pending_time <- time;
   if b.pending >= b.arrive_count then begin
     b.pending <- 0;
@@ -47,10 +63,27 @@ let arrive b ~time =
     b.pending_time <- 0.0;
     b.completions <- t :: b.completions;
     b.num_completions <- b.num_completions + 1;
+    b.completions_total <- b.completions_total + 1;
+    (* In-flight depth: phases produced but not yet consumed by a
+       successful wait — the channel's instantaneous buffer pressure. *)
+    let inflight = b.num_completions - b.consumed in
+    if inflight > b.max_inflight then b.max_inflight <- inflight;
     (match b.notify with Some f -> f b | None -> ());
     true
   end
   else false
+
+(** A waiter's demand for [target] completions was satisfied: advance
+    the consumed high-water used for in-flight depth. Both engines call
+    this at every successful wait (blocking or not), in identical
+    scheduler order, so the telemetry is engine-independent. *)
+let note_consumed b ~target =
+  if target > b.consumed then b.consumed <- target
+
+let arrivals_total b = b.arrivals_total
+let completions_total b = b.completions_total
+let max_pending b = b.max_pending
+let max_inflight b = b.max_inflight
 
 let completions b = b.num_completions
 

@@ -22,6 +22,17 @@ exception Sim_error of string
 
 let err fmt = Format.kasprintf (fun s -> raise (Sim_error s)) fmt
 
+(* Stall-attribution bucket indices (DESIGN.md §10). Every clock advance
+   below is charged to exactly one bucket; the decode engine mirrors the
+   same charging so attribution is engine-independent. *)
+let b_compute = Tawa_obs.Stall.compute
+let b_tma = Tawa_obs.Stall.tma
+let b_tc = Tawa_obs.Stall.tensorcore
+let b_mbar = Tawa_obs.Stall.mbar_wait
+let b_ring = Tawa_obs.Stall.ring_wait
+let b_fence = Tawa_obs.Stall.fence_wait
+let b_idle = Tawa_obs.Stall.idle
+
 type rt =
   | Rint of int
   | Rfloat of float
@@ -56,6 +67,7 @@ type wg = {
          still working on. *)
   mutable busy : float; (* non-stalled cycles, for utilization stats *)
   mutable instret : int;
+  buckets : float array; (* per-Stall-bucket cycle attribution *)
 }
 
 type stats = {
@@ -86,6 +98,8 @@ type cta = {
   stats : stats;
   mutable events : (string * float * float * string) list;
       (* (unit, start, end, label) busy intervals when collect_trace *)
+  mbar_wait : float array; (* per-channel blocked time (excl. sync cost) *)
+  ring_wait : float array;
 }
 
 let create ~(cfg : Config.t) ~(program : Isa.program) ~(params : rt list)
@@ -114,6 +128,7 @@ let create ~(cfg : Config.t) ~(program : Isa.program) ~(params : rt list)
              wg_pid = None;
              busy = 0.0;
              instret = 0;
+             buckets = Array.make Tawa_obs.Stall.num 0.0;
            })
          program.Isa.streams)
   in
@@ -138,6 +153,8 @@ let create ~(cfg : Config.t) ~(program : Isa.program) ~(params : rt list)
     stats = { tc_busy = 0.0; tma_busy = 0.0; tma_bytes = 0.0; wgmma_count = 0;
               tma_count = 0; steps = 0 };
     events = [];
+    mbar_wait = Array.make (max 1 program.Isa.num_mbarriers) 0.0;
+    ring_wait = Array.make (max 1 program.Isa.num_rings) 0.0;
   }
 
 (* ------------------------- register file -------------------------- *)
@@ -231,10 +248,16 @@ let bytes_of ~rows ~cols dtype = rows * cols * Dtype.size_bytes dtype
 
 (* ------------------------- the step function ---------------------- *)
 
-(* Advance [wg]'s clock by [c] cycles of real work. *)
-let spend wg c =
+(* Advance [wg]'s clock by [c] cycles of real work, charged to stall
+   bucket [b]. *)
+let spend wg b c =
   wg.time <- wg.time +. c;
-  wg.busy <- wg.busy +. c
+  wg.busy <- wg.busy +. c;
+  wg.buckets.(b) <- wg.buckets.(b) +. c
+
+(* Attribute a blocked-time jump (clock warp without work) to bucket [b].
+   Not counted as busy — mirrors the pre-telemetry accounting. *)
+let stalled wg b dt = if dt > 0.0 then wg.buckets.(b) <- wg.buckets.(b) +. dt
 
 let tile_cost (cfg : Config.t) coop ~elems ~per_cycle =
   Float.of_int elems /. per_cycle /. Float.of_int coop
@@ -264,7 +287,10 @@ let release_fences cta =
       List.iter
         (fun i ->
           let w = cta.wgs.(i) in
-          w.time <- tmax +. cta.cfg.Config.fence_cycles;
+          let nt = tmax +. cta.cfg.Config.fence_cycles in
+          stalled w b_fence (nt -. w.time);
+          trace cta (wg_unit w) w.time nt "stall(fence)";
+          w.time <- nt;
           w.state <- Running;
           w.pc <- w.pc + 1)
         cta.fence_waiters;
@@ -284,38 +310,38 @@ let step cta wg =
   let tile_default dst = if not functional then reg_write wg dst Rnone in
   match i with
   | Isa.Nop ->
-    spend wg 1.0;
+    spend wg b_compute 1.0;
     advance ();
     true
   | Isa.Alu { op; dst; a; b } ->
     reg_write wg dst (scalar_alu op (value_of wg a) (value_of wg b));
-    spend wg cfg.scalar_cycles;
+    spend wg b_compute cfg.scalar_cycles;
     advance ();
     true
   | Isa.Cmp { op; dst; a; b } ->
     reg_write wg dst (scalar_cmp op (value_of wg a) (value_of wg b));
-    spend wg cfg.scalar_cycles;
+    spend wg b_compute cfg.scalar_cycles;
     advance ();
     true
   | Isa.Mov { dst; src } ->
     reg_write wg dst (value_of wg src);
-    spend wg cfg.scalar_cycles;
+    spend wg b_compute cfg.scalar_cycles;
     advance ();
     true
   | Isa.Sel { dst; cond; a; b } ->
     reg_write wg dst (if as_bool wg cond then value_of wg a else value_of wg b);
-    spend wg cfg.scalar_cycles;
+    spend wg b_compute cfg.scalar_cycles;
     advance ();
     true
   | Isa.Pid { dst; axis } ->
     let pid = match wg.wg_pid with Some p -> p | None -> cta.pid in
     reg_write wg dst (Rint pid.(axis));
-    spend wg cfg.scalar_cycles;
+    spend wg b_compute cfg.scalar_cycles;
     advance ();
     true
   | Isa.Npid { dst; axis } ->
     reg_write wg dst (Rint cta.num_programs.(axis));
-    spend wg cfg.scalar_cycles;
+    spend wg b_compute cfg.scalar_cycles;
     advance ();
     true
   | Isa.Mkdesc { dst; ptr; dtype; _ } ->
@@ -326,7 +352,7 @@ let step cta wg =
       | _ -> err "sim: descriptor pointer must bind a buffer (or Rnone in timing mode)"
     in
     reg_write wg dst (Rdesc { buffer; ddtype = dtype });
-    spend wg 20.0;
+    spend wg b_compute 20.0;
     advance ();
     true
   | Isa.Tile_unop { op; dst; src; elems } ->
@@ -338,7 +364,7 @@ let step cta wg =
     in
     let c = tile_cost cfg coop ~elems ~per_cycle in
     trace cta (wg_unit wg) wg.time (wg.time +. c) ("cuda " ^ Op.unop_to_string op);
-    spend wg c;
+    spend wg b_compute c;
     if functional then
       reg_write wg dst (Rtensor (Tensor.map (Interp.float_unop op) (as_tensor wg src)))
     else tile_default dst;
@@ -347,7 +373,7 @@ let step cta wg =
   | Isa.Tile_binop { op; dst; a; b; elems } ->
     let c = tile_cost cfg coop ~elems ~per_cycle:cfg.cuda_elems_per_cycle in
     trace cta (wg_unit wg) wg.time (wg.time +. c) ("cuda " ^ Op.binop_to_string op);
-    spend wg c;
+    spend wg b_compute c;
     if functional then
       reg_write wg dst
         (Rtensor (Tensor.map2 (Interp.float_binop op) (as_tensor wg a) (as_tensor wg b)))
@@ -355,7 +381,7 @@ let step cta wg =
     advance ();
     true
   | Isa.Tile_cmp { op; dst; a; b; elems } ->
-    spend wg (tile_cost cfg coop ~elems ~per_cycle:cfg.cuda_elems_per_cycle);
+    spend wg b_compute (tile_cost cfg coop ~elems ~per_cycle:cfg.cuda_elems_per_cycle);
     if functional then
       reg_write wg dst
         (Rtensor (Tensor.cmp (Interp.cmp_pred op) (as_tensor wg a) (as_tensor wg b)))
@@ -363,7 +389,7 @@ let step cta wg =
     advance ();
     true
   | Isa.Tile_select { dst; cond; a; b; elems } ->
-    spend wg (tile_cost cfg coop ~elems ~per_cycle:cfg.cuda_elems_per_cycle);
+    spend wg b_compute (tile_cost cfg coop ~elems ~per_cycle:cfg.cuda_elems_per_cycle);
     if functional then
       reg_write wg dst
         (Rtensor
@@ -372,14 +398,14 @@ let step cta wg =
     advance ();
     true
   | Isa.Tile_cast { dst; src; dtype; elems } ->
-    spend wg (tile_cost cfg coop ~elems ~per_cycle:cfg.cuda_elems_per_cycle);
+    spend wg b_compute (tile_cost cfg coop ~elems ~per_cycle:cfg.cuda_elems_per_cycle);
     if functional then reg_write wg dst (Rtensor (Tensor.cast dtype (as_tensor wg src)))
     else tile_default dst;
     advance ();
     true
   | Isa.Tile_splat { dst; src; shape; dtype } ->
     let elems = List.fold_left ( * ) 1 shape in
-    spend wg (tile_cost cfg coop ~elems ~per_cycle:cfg.cuda_elems_per_cycle);
+    spend wg b_compute (tile_cost cfg coop ~elems ~per_cycle:cfg.cuda_elems_per_cycle);
     if functional then begin
       let t = Tensor.create ~dtype (Array.of_list shape) in
       Tensor.fill t (as_float wg src);
@@ -389,7 +415,7 @@ let step cta wg =
     advance ();
     true
   | Isa.Tile_iota { dst; n } ->
-    spend wg (tile_cost cfg coop ~elems:n ~per_cycle:cfg.cuda_elems_per_cycle);
+    spend wg b_compute (tile_cost cfg coop ~elems:n ~per_cycle:cfg.cuda_elems_per_cycle);
     if functional then
       reg_write wg dst
         (Rtensor (Tensor.init ~dtype:Dtype.I32 [| n |] (fun i -> Float.of_int i.(0))))
@@ -398,14 +424,14 @@ let step cta wg =
     true
   | Isa.Tile_bcast { dst; src; shape } ->
     let elems = List.fold_left ( * ) 1 shape in
-    spend wg (tile_cost cfg coop ~elems ~per_cycle:cfg.cuda_elems_per_cycle);
+    spend wg b_compute (tile_cost cfg coop ~elems ~per_cycle:cfg.cuda_elems_per_cycle);
     if functional then
       reg_write wg dst (Rtensor (Interp.broadcast_to (as_tensor wg src) shape))
     else tile_default dst;
     advance ();
     true
   | Isa.Tile_reshape { dst; src; shape } ->
-    spend wg cfg.scalar_cycles;
+    spend wg b_compute cfg.scalar_cycles;
     if functional then
       reg_write wg dst (Rtensor (Tensor.reshape (as_tensor wg src) (Array.of_list shape)))
     else tile_default dst;
@@ -414,20 +440,20 @@ let step cta wg =
   | Isa.Tile_reduce { kind; axis; dst; src; elems } ->
     let c = tile_cost cfg coop ~elems ~per_cycle:cfg.reduce_elems_per_cycle in
     trace cta (wg_unit wg) wg.time (wg.time +. c) ("cuda reduce");
-    spend wg c;
+    spend wg b_compute c;
     if functional then
       reg_write wg dst (Rtensor (Interp.reduce_tensor kind axis (as_tensor wg src)))
     else tile_default dst;
     advance ();
     true
   | Isa.Tile_trans { dst; src; elems } ->
-    spend wg (tile_cost cfg coop ~elems ~per_cycle:cfg.trans_elems_per_cycle);
+    spend wg b_compute (tile_cost cfg coop ~elems ~per_cycle:cfg.trans_elems_per_cycle);
     if functional then reg_write wg dst (Rtensor (Tensor.transpose2 (as_tensor wg src)))
     else tile_default dst;
     advance ();
     true
   | Isa.Tma_load { desc; offs; dst; rows; cols; dtype; full } ->
-    spend wg cfg.tma_issue_cycles;
+    spend wg b_tma cfg.tma_issue_cycles;
     let bytes = Float.of_int (bytes_of ~rows ~cols dtype) in
     let start = Float.max cta.tma_free wg.time in
     let busy = bytes /. cfg.tma_bytes_per_cycle in
@@ -455,7 +481,7 @@ let step cta wg =
     let chunks = (bytes + cfg.cp_chunk_bytes - 1) / cfg.cp_chunk_bytes in
     (* Address generation and issue occupy the warp group itself: the
        cost Tawa offloads to the TMA unit. *)
-    spend wg (Float.of_int chunks *. cfg.cp_issue_cycles_per_chunk);
+    spend wg b_tma (Float.of_int chunks *. cfg.cp_issue_cycles_per_chunk);
     let start = Float.max cta.tma_free wg.time in
     let busy = Float.of_int bytes /. cfg.cp_async_bytes_per_cycle in
     cta.tma_free <- start +. busy;
@@ -477,8 +503,12 @@ let step cta wg =
     let tgt = as_int wg target in
     match Mbarrier.try_wait cta.rings.(ring) ~target:tgt with
     | Some t ->
+      let wait = Float.max wg.time t -. wg.time in
+      stalled wg b_ring wait;
+      cta.ring_wait.(ring) <- cta.ring_wait.(ring) +. Float.max 0.0 wait;
+      Mbarrier.note_consumed cta.rings.(ring) ~target:tgt;
       wg.time <- Float.max wg.time t;
-      spend wg cfg.scalar_cycles;
+      spend wg b_ring cfg.scalar_cycles;
       advance ();
       true
     | None ->
@@ -488,7 +518,7 @@ let step cta wg =
     (* Naive synchronous global load: latency plus a low-efficiency
        per-thread gather. *)
     let bytes = Float.of_int (bytes_of ~rows ~cols dtype) in
-    spend wg (cfg.tma_latency +. (bytes /. cfg.ldg_bytes_per_cycle));
+    spend wg b_tma (cfg.tma_latency +. (bytes /. cfg.ldg_bytes_per_cycle));
     if functional then begin
       let d = as_desc wg desc in
       match d.buffer with
@@ -503,21 +533,21 @@ let step cta wg =
     true
   | Isa.Lds { dst; src; shape; dtype } ->
     let bytes = List.fold_left ( * ) 1 shape * Dtype.size_bytes dtype in
-    spend wg (Float.of_int bytes /. cfg.smem_bytes_per_cycle /. Float.of_int coop);
+    spend wg b_tma (Float.of_int bytes /. cfg.smem_bytes_per_cycle /. Float.of_int coop);
     if functional then reg_write wg dst (Rtensor (smem_read cta wg src))
     else reg_write wg dst Rnone;
     advance ();
     true
   | Isa.Sts { src; dst; elems; dtype } ->
     let bytes = elems * Dtype.size_bytes dtype in
-    spend wg (Float.of_int bytes /. cfg.smem_bytes_per_cycle /. Float.of_int coop);
+    spend wg b_tma (Float.of_int bytes /. cfg.smem_bytes_per_cycle /. Float.of_int coop);
     if functional then smem_write cta wg dst (as_tensor wg src);
     advance ();
     true
   | Isa.Stg { desc; offs; src; rows; cols } ->
     let d = as_desc wg desc in
     let bytes = Float.of_int (bytes_of ~rows ~cols d.ddtype) in
-    spend wg ((bytes /. cfg.stg_bytes_per_cycle /. Float.of_int coop) +. cfg.stg_latency);
+    spend wg b_tma ((bytes /. cfg.stg_bytes_per_cycle /. Float.of_int coop) +. cfg.stg_latency);
     (if functional then
        match d.buffer with
        | Some buf ->
@@ -528,7 +558,7 @@ let step cta wg =
     advance ();
     true
   | Isa.Mbar_arrive { base; index } ->
-    spend wg cfg.mbar_cycles;
+    spend wg b_mbar cfg.mbar_cycles;
     ignore (Mbarrier.arrive cta.mbars.(base + as_int wg index) ~time:wg.time);
     advance ();
     true
@@ -537,15 +567,19 @@ let step cta wg =
     let tgt = as_int wg target in
     match Mbarrier.try_wait cta.mbars.(b) ~target:tgt with
     | Some t ->
+      let wait = Float.max wg.time t -. wg.time in
+      stalled wg b_mbar wait;
+      cta.mbar_wait.(b) <- cta.mbar_wait.(b) +. Float.max 0.0 wait;
+      Mbarrier.note_consumed cta.mbars.(b) ~target:tgt;
       wg.time <- Float.max wg.time t;
-      spend wg cfg.mbar_cycles;
+      spend wg b_mbar cfg.mbar_cycles;
       advance ();
       true
     | None ->
       wg.state <- Blocked (On_mbar { bar = b; target = tgt });
       false)
   | Isa.Wgmma { a; b; acc; m; n; k; dtype } ->
-    spend wg cfg.wgmma_issue_cycles;
+    spend wg b_tc cfg.wgmma_issue_cycles;
     let flops = 2.0 *. Float.of_int m *. Float.of_int n *. Float.of_int k in
     (* Register pressure from live in-flight fragments slows the MMA's
        accumulator traffic (the P=3 droop of Fig. 11). *)
@@ -586,15 +620,16 @@ let step cta wg =
       Queue.push wg.wgmma_open wg.wgmma_groups;
       wg.wgmma_open <- -1.0
     end;
-    spend wg 1.0;
+    spend wg b_tc 1.0;
     advance ();
     true
   | Isa.Wgmma_wait n ->
     while Queue.length wg.wgmma_groups > n do
       let t = Queue.pop wg.wgmma_groups in
+      stalled wg b_tc (t -. wg.time);
       wg.time <- Float.max wg.time t
     done;
-    spend wg 1.0;
+    spend wg b_tc 1.0;
     advance ();
     true
   | Isa.Fence ->
@@ -612,7 +647,7 @@ let step cta wg =
         then Mbarrier.reset b)
       cta.mbars;
     Array.iter Mbarrier.reset cta.rings;
-    spend wg cfg.mbar_cycles;
+    spend wg b_mbar cfg.mbar_cycles;
     advance ();
     true
   | Isa.Workq_pop { dst } ->
@@ -637,19 +672,19 @@ let step cta wg =
       wg.wg_pid <- Some [| x; y; z |]
     end;
     reg_write wg dst (Rint v);
-    spend wg cfg.workq_pop_cycles;
+    spend wg b_compute cfg.workq_pop_cycles;
     advance ();
     true
   | Isa.Bra { target } ->
-    spend wg cfg.scalar_cycles;
+    spend wg b_compute cfg.scalar_cycles;
     wg.pc <- target;
     true
   | Isa.Brz { cond; target } ->
-    spend wg cfg.scalar_cycles;
+    spend wg b_compute cfg.scalar_cycles;
     if as_bool wg cond then wg.pc <- wg.pc + 1 else wg.pc <- target;
     true
   | Isa.Brnz { cond; target } ->
-    spend wg cfg.scalar_cycles;
+    spend wg b_compute cfg.scalar_cycles;
     if as_bool wg cond then wg.pc <- target else wg.pc <- wg.pc + 1;
     true
   | Isa.Exit ->
@@ -664,20 +699,173 @@ let try_unblock cta wg =
     match Mbarrier.try_wait cta.mbars.(bar) ~target with
     | Some t ->
       trace cta (wg_unit wg) wg.time (Float.max wg.time t) "stall(mbar)";
-      wg.time <- Float.max wg.time t +. cta.cfg.mbar_cycles;
+      let nt = Float.max wg.time t +. cta.cfg.mbar_cycles in
+      stalled wg b_mbar (nt -. wg.time);
+      cta.mbar_wait.(bar) <-
+        cta.mbar_wait.(bar) +. Float.max 0.0 (Float.max wg.time t -. wg.time);
+      Mbarrier.note_consumed cta.mbars.(bar) ~target;
+      wg.time <- nt;
       wg.state <- Running;
       wg.pc <- wg.pc + 1
     | None -> ())
   | Blocked (On_ring { ring; target }) -> (
     match Mbarrier.try_wait cta.rings.(ring) ~target with
     | Some t ->
-      wg.time <- Float.max wg.time t +. cta.cfg.scalar_cycles;
+      trace cta (wg_unit wg) wg.time (Float.max wg.time t) "stall(ring)";
+      let nt = Float.max wg.time t +. cta.cfg.scalar_cycles in
+      stalled wg b_ring (nt -. wg.time);
+      cta.ring_wait.(ring) <-
+        cta.ring_wait.(ring) +. Float.max 0.0 (Float.max wg.time t -. wg.time);
+      Mbarrier.note_consumed cta.rings.(ring) ~target;
+      wg.time <- nt;
       wg.state <- Running;
       wg.pc <- wg.pc + 1
     | None -> ())
   | Blocked On_fence | Running | Finished -> ()
 
-type outcome = { cycles : float; stats : stats; instructions : int }
+(* ------------------------- profiles ------------------------------- *)
+
+(** Per-warp-group stall attribution. [p_buckets] has [Stall.num]
+    entries; the idle slot is wall-clock minus the WG's final local
+    time, so the bucket sum of every WG equals the CTA's total cycles. *)
+type wg_prof = {
+  p_index : int;
+  p_role : string;
+  p_time : float;
+  p_busy : float;
+  p_instret : int;
+  p_buckets : float array;
+}
+
+(** Per-channel (mbarrier or aref ring) occupancy. *)
+type chan_prof = {
+  c_kind : string; (* "mbar" | "ring" *)
+  c_id : int;
+  c_arrivals : int;
+  c_completions : int;
+  c_max_pending : int;
+  c_max_inflight : int;
+  c_wait : float; (* total WG-cycles blocked on this channel *)
+}
+
+type profile = { wall : float; wg_profs : wg_prof array; chan_profs : chan_prof array }
+
+let wg_profile ~wall (wg : wg) : wg_prof =
+  let b = Array.copy wg.buckets in
+  b.(b_idle) <- Float.max 0.0 (wall -. wg.time);
+  {
+    p_index = wg.index;
+    p_role = Op.role_to_string wg.stream.Isa.role;
+    p_time = wg.time;
+    p_busy = wg.busy;
+    p_instret = wg.instret;
+    p_buckets = b;
+  }
+
+let chan_profile kind id (b : Mbarrier.t) wait =
+  {
+    c_kind = kind;
+    c_id = id;
+    c_arrivals = Mbarrier.arrivals_total b;
+    c_completions = Mbarrier.completions_total b;
+    c_max_pending = Mbarrier.max_pending b;
+    c_max_inflight = Mbarrier.max_inflight b;
+    c_wait = wait;
+  }
+
+(* Shared with Engine.run_decoded, which mirrors the same channel
+   state. *)
+let chan_profiles ~(mbars : Mbarrier.t array) ~(rings : Mbarrier.t array)
+    ~(num_rings : int) ~(mbar_wait : float array) ~(ring_wait : float array) :
+    chan_prof array =
+  Array.append
+    (Array.mapi (fun i b -> chan_profile "mbar" i b mbar_wait.(i)) mbars)
+    (Array.init num_rings (fun i -> chan_profile "ring" i rings.(i) ring_wait.(i)))
+
+let profile_of_cta ~wall (cta : cta) : profile =
+  {
+    wall;
+    wg_profs = Array.map (wg_profile ~wall) cta.wgs;
+    chan_profs =
+      chan_profiles ~mbars:cta.mbars ~rings:cta.rings
+        ~num_rings:cta.program.Isa.num_rings ~mbar_wait:cta.mbar_wait
+        ~ring_wait:cta.ring_wait;
+  }
+
+let profile_to_json (p : profile) : Tawa_obs.Json.t =
+  let open Tawa_obs in
+  Json.Obj
+    [
+      ("wall_cycles", Json.Float p.wall);
+      ( "warp_groups",
+        Json.List
+          (Array.to_list p.wg_profs
+          |> List.map (fun w ->
+                 Json.Obj
+                   [
+                     ("index", Json.Int w.p_index);
+                     ("role", Json.Str w.p_role);
+                     ("cycles", Json.Float w.p_time);
+                     ("busy", Json.Float w.p_busy);
+                     ("instructions", Json.Int w.p_instret);
+                     ( "stall",
+                       Json.Obj
+                         (Array.to_list
+                            (Array.mapi
+                               (fun i c -> (Stall.name_of_index i, Json.Float c))
+                               w.p_buckets)) );
+                   ])) );
+      ( "channels",
+        Json.List
+          (Array.to_list p.chan_profs
+          |> List.map (fun c ->
+                 Json.Obj
+                   [
+                     ("kind", Json.Str c.c_kind);
+                     ("id", Json.Int c.c_id);
+                     ("arrivals", Json.Int c.c_arrivals);
+                     ("completions", Json.Int c.c_completions);
+                     ("max_pending", Json.Int c.c_max_pending);
+                     ("max_inflight", Json.Int c.c_max_inflight);
+                     ("wait_cycles", Json.Float c.c_wait);
+                   ])) );
+    ]
+
+let stall_table (p : profile) : string =
+  let open Tawa_obs in
+  let fc x = Printf.sprintf "%.1f" x in
+  let rows =
+    Array.to_list p.wg_profs
+    |> List.map (fun w ->
+           let sum = Array.fold_left ( +. ) 0.0 w.p_buckets in
+           [ Printf.sprintf "WG%d" w.p_index; w.p_role ]
+           @ (Array.to_list w.p_buckets |> List.map fc)
+           @ [ fc sum ])
+  in
+  Tbl.render
+    ~header:([ "wg"; "role" ] @ Array.to_list Stall.names @ [ "total" ])
+    rows
+
+let chan_table (p : profile) : string =
+  let rows =
+    Array.to_list p.chan_profs
+    |> List.map (fun c ->
+           [
+             c.c_kind;
+             string_of_int c.c_id;
+             string_of_int c.c_arrivals;
+             string_of_int c.c_completions;
+             string_of_int c.c_max_pending;
+             string_of_int c.c_max_inflight;
+             Printf.sprintf "%.1f" c.c_wait;
+           ])
+  in
+  Tawa_obs.Tbl.render
+    ~header:
+      [ "kind"; "id"; "arrivals"; "completions"; "max-pending"; "max-inflight"; "wait-cycles" ]
+    rows
+
+type outcome = { cycles : float; stats : stats; instructions : int; profile : profile }
 
 (** Run the CTA to completion. [max_steps] bounds runaway programs. *)
 let run ?(max_steps = 50_000_000) (cta : cta) : outcome =
@@ -721,4 +909,6 @@ let run ?(max_steps = 50_000_000) (cta : cta) : outcome =
       err "sim: deadlock: %s" (String.concat "; " blocked)
   done;
   let cycles = Array.fold_left (fun acc w -> Float.max acc w.time) 0.0 cta.wgs in
-  { cycles; stats = cta.stats; instructions = Array.fold_left (fun a w -> a + w.instret) 0 cta.wgs }
+  { cycles; stats = cta.stats;
+    instructions = Array.fold_left (fun a w -> a + w.instret) 0 cta.wgs;
+    profile = profile_of_cta ~wall:cycles cta }

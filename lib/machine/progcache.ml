@@ -22,7 +22,7 @@
 
 open Tawa_ir
 
-type stats = { mutable hits : int; mutable misses : int }
+type stats = { mutable hits : int; mutable misses : int; mutable evictions : int }
 
 type 'v t = {
   table : (string, 'v) Hashtbl.t;
@@ -43,21 +43,45 @@ let enabled = Atomic.make (enabled_env ())
 let set_enabled b = Atomic.set enabled b
 let is_enabled () = Atomic.get enabled
 
-let create ?(max_entries = 512) () =
-  { table = Hashtbl.create 64; lock = Mutex.create (); stats = { hits = 0; misses = 0 };
-    max_entries }
+(** [create ?name ()] — a [name] additionally registers
+    [progcache.<name>.{hits,misses,evictions,entries}] gauges in
+    {!Tawa_obs.Registry}, so long-lived caches surface in [--obs]
+    output and [bench --json] without ad-hoc printing. *)
+let create ?name ?(max_entries = 512) () =
+  let c =
+    { table = Hashtbl.create 64; lock = Mutex.create ();
+      stats = { hits = 0; misses = 0; evictions = 0 }; max_entries }
+  in
+  (match name with
+  | None -> ()
+  | Some n ->
+    let gauge field f =
+      Tawa_obs.Registry.register_gauge
+        (Printf.sprintf "progcache.%s.%s" n field)
+        (fun () ->
+          Mutex.lock c.lock;
+          let v = f () in
+          Mutex.unlock c.lock;
+          Tawa_obs.Registry.Int v)
+    in
+    gauge "hits" (fun () -> c.stats.hits);
+    gauge "misses" (fun () -> c.stats.misses);
+    gauge "evictions" (fun () -> c.stats.evictions);
+    gauge "entries" (fun () -> Hashtbl.length c.table));
+  c
 
 let clear c =
   Mutex.lock c.lock;
   Hashtbl.reset c.table;
   c.stats.hits <- 0;
   c.stats.misses <- 0;
+  c.stats.evictions <- 0;
   Mutex.unlock c.lock
 
-(** Snapshot of the hit/miss counters (copied, safe to keep). *)
+(** Snapshot of the hit/miss/eviction counters (copied, safe to keep). *)
 let stats c =
   Mutex.lock c.lock;
-  let s = { hits = c.stats.hits; misses = c.stats.misses } in
+  let s = { hits = c.stats.hits; misses = c.stats.misses; evictions = c.stats.evictions } in
   Mutex.unlock c.lock;
   s
 
@@ -86,7 +110,10 @@ let find_or_add c ~key f =
          parallel. *)
       let v = f () in
       Mutex.lock c.lock;
-      if Hashtbl.length c.table >= c.max_entries then Hashtbl.reset c.table;
+      if Hashtbl.length c.table >= c.max_entries then begin
+        c.stats.evictions <- c.stats.evictions + Hashtbl.length c.table;
+        Hashtbl.reset c.table
+      end;
       Hashtbl.replace c.table key v;
       Mutex.unlock c.lock;
       v

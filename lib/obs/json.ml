@@ -1,0 +1,82 @@
+(** Minimal JSON emitter for machine-readable output ([BENCH_*.json],
+    Chrome traces, [--obs json]). No external dependency; non-finite
+    floats render as [null] so the output always parses.
+
+    This is the single JSON type for the whole tree; [Tawa_core.Report.Json]
+    re-exports it for backwards compatibility. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec write buf indent v =
+  let pad n = String.make n ' ' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_finite f then
+      (* Shortest representation that round-trips. *)
+      Buffer.add_string buf (Printf.sprintf "%.12g" f)
+    else Buffer.add_string buf "null"
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | List [] -> Buffer.add_string buf "[]"
+  | List xs ->
+    Buffer.add_string buf "[";
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string buf ", ";
+        write buf indent x)
+      xs;
+    Buffer.add_string buf "]"
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj kvs ->
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, x) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 2));
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape k);
+        Buffer.add_string buf "\": ";
+        write buf (indent + 2) x)
+      kvs;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 4096 in
+  write buf 0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let to_file path v =
+  let oc = open_out path in
+  output_string oc (to_string v);
+  close_out oc

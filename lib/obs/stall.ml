@@ -1,0 +1,64 @@
+(** Stall-attribution bucket taxonomy (DESIGN.md §10).
+
+    Every cycle a warp group's clock advances is charged to exactly one
+    bucket, in both execution engines:
+
+    - [compute]: scalar ALU work, control flow, tile element-wise ops,
+      descriptor setup, work-queue pops.
+    - [tma]: issue + serialization of async copies (TMA loads/stores,
+      cp.async) and synchronous global/shared memory instructions.
+    - [tensorcore]: wgmma issue/commit plus time spent blocked in
+      [wgmma.wait] for in-flight groups to drain.
+    - [mbar_wait]: time blocked on an mbarrier phase (producer/consumer
+      rendezvous), including the fixed [mbar_cycles] synchronization cost.
+    - [ring_wait]: time blocked on an aref ring slot ([cp.wait_ring]).
+    - [fence_wait]: time parked at a named-barrier fence waiting for the
+      other warp groups, including the [fence_cycles] release cost.
+    - [idle]: wall-clock minus the WG's final local time — the tail where
+      this WG had exited but the CTA was still running. Computed when a
+      profile is assembled, not during stepping.
+
+    Hot paths index bucket arrays with the integer constants below; the
+    variant type is for presentation. *)
+
+type t =
+  | Compute
+  | Tma
+  | Tensorcore
+  | Mbar_wait
+  | Ring_wait
+  | Fence_wait
+  | Idle
+
+(* Integer indices for the per-WG accumulation arrays. *)
+let compute = 0
+let tma = 1
+let tensorcore = 2
+let mbar_wait = 3
+let ring_wait = 4
+let fence_wait = 5
+let idle = 6
+let num = 7
+
+let all = [| Compute; Tma; Tensorcore; Mbar_wait; Ring_wait; Fence_wait; Idle |]
+
+let index = function
+  | Compute -> compute
+  | Tma -> tma
+  | Tensorcore -> tensorcore
+  | Mbar_wait -> mbar_wait
+  | Ring_wait -> ring_wait
+  | Fence_wait -> fence_wait
+  | Idle -> idle
+
+let name = function
+  | Compute -> "compute"
+  | Tma -> "tma"
+  | Tensorcore -> "tensorcore"
+  | Mbar_wait -> "mbar-wait"
+  | Ring_wait -> "ring-wait"
+  | Fence_wait -> "fence-wait"
+  | Idle -> "idle"
+
+let names = Array.map name all
+let name_of_index i = names.(i)

@@ -1,0 +1,34 @@
+(** Plain-text table rendering shared by the benchmark harness, the
+    examples, and [tawac profile]. *)
+
+let render ~(header : string list) (rows : string list list) : string =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun m row -> max m (try String.length (List.nth row c) with _ -> 0))
+      0 all
+  in
+  let widths = List.init ncols width in
+  let line ch =
+    String.concat "-+-" (List.map (fun w -> String.make w ch) widths)
+  in
+  let fmt_row row =
+    String.concat " | "
+      (List.mapi
+         (fun c w ->
+           let s = try List.nth row c with _ -> "" in
+           s ^ String.make (max 0 (w - String.length s)) ' ')
+         widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (fmt_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (fmt_row r);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf

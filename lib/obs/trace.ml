@@ -1,0 +1,102 @@
+(** Chrome trace-event export (Perfetto / chrome://tracing loadable).
+
+    We emit the JSON-object flavor: [{"traceEvents": [...]}] with
+    complete ("ph":"X") events plus thread-name metadata ("ph":"M").
+    Timestamps are nominally microseconds in the format; we write
+    simulated cycles directly and record the convention in
+    [otherData.timeUnit] — Perfetto renders relative spans either way
+    (DESIGN.md §10). *)
+
+type event = {
+  name : string;
+  cat : string;
+  ph : string;  (* "X" complete, "M" metadata, "i" instant *)
+  ts : float;
+  dur : float;  (* meaningful for "X" only *)
+  pid : int;
+  tid : int;
+  args : (string * Json.t) list;
+}
+
+let complete ?(pid = 0) ?(cat = "sim") ?(args = []) ~tid ~ts ~dur name =
+  { name; cat; ph = "X"; ts; dur; pid; tid; args }
+
+let instant ?(pid = 0) ?(cat = "sim") ?(args = []) ~tid ~ts name =
+  { name; cat; ph = "i"; ts; dur = 0.0; pid; tid; args }
+
+let thread_name ?(pid = 0) ~tid name =
+  {
+    name = "thread_name";
+    cat = "__metadata";
+    ph = "M";
+    ts = 0.0;
+    dur = 0.0;
+    pid;
+    tid;
+    args = [ ("name", Json.Str name) ];
+  }
+
+(** Turn the simulator's interval list [(unit, t0, t1, label)] into
+    events: one trace thread per distinct unit (tids assigned in order
+    of first appearance after a deterministic sort), with a metadata
+    record naming each thread. *)
+let of_intervals ?(pid = 0) (intervals : (string * float * float * string) list)
+    : event list =
+  let sorted =
+    List.sort
+      (fun (u1, a1, _, l1) (u2, a2, _, l2) ->
+        match compare a1 a2 with
+        | 0 -> (
+          match String.compare u1 u2 with
+          | 0 -> String.compare l1 l2
+          | c -> c)
+        | c -> c)
+      intervals
+  in
+  let tids : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let next = ref 0 in
+  let meta = ref [] in
+  let tid_of unit_name =
+    match Hashtbl.find_opt tids unit_name with
+    | Some t -> t
+    | None ->
+      let t = !next in
+      incr next;
+      Hashtbl.replace tids unit_name t;
+      meta := thread_name ~pid ~tid:t unit_name :: !meta;
+      t
+  in
+  let evs =
+    List.map
+      (fun (unit_name, t0, t1, label) ->
+        complete ~pid ~tid:(tid_of unit_name) ~ts:t0
+          ~dur:(Float.max 0.0 (t1 -. t0))
+          label)
+      sorted
+  in
+  List.rev !meta @ evs
+
+let event_to_json (e : event) : Json.t =
+  let base =
+    [
+      ("name", Json.Str e.name);
+      ("cat", Json.Str e.cat);
+      ("ph", Json.Str e.ph);
+      ("ts", Json.Float e.ts);
+      ("pid", Json.Int e.pid);
+      ("tid", Json.Int e.tid);
+    ]
+  in
+  let dur = if e.ph = "X" then [ ("dur", Json.Float e.dur) ] else [] in
+  let args = if e.args = [] then [] else [ ("args", Json.Obj e.args) ] in
+  Json.Obj (base @ dur @ args)
+
+let to_json ?(other = []) (events : event list) : Json.t =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event_to_json events));
+      ("displayTimeUnit", Json.Str "ms");
+      ("otherData", Json.Obj (("timeUnit", Json.Str "cycles") :: other));
+    ]
+
+let to_file ?other path events = Json.to_file path (to_json ?other events)

@@ -24,7 +24,14 @@ let default_options =
     check = false;
   }
 
-type trace_entry = { pass : string; ops_after : int; applied : bool }
+type trace_entry = {
+  pass : string;
+  ops_after : int;
+  ops_delta : int; (* op count after - before the pass *)
+  values_delta : int; (* SSA results after - before the pass *)
+  ms : float; (* pass wall time, registry clock (verify excluded) *)
+  applied : bool;
+}
 
 type result = {
   kernel : Kernel.t;
@@ -42,13 +49,33 @@ module Log = (val Logs.src_log log)
     recorded as skipped rather than failing: the compiler degrades
     gracefully to the unspecialized kernel, mirroring the paper's
     "existing Triton pipeline proceeds unchanged" fallback. *)
+let count_values (k : Kernel.t) =
+  Op.fold_region (fun n (op : Op.op) -> n + List.length op.Op.results) 0 k.Kernel.body
+
 let compile ?(options = default_options) (kernel : Kernel.t) : result =
   let trace = ref [] in
+  let prev_ops = ref (Kernel.count_ops kernel) in
+  let prev_values = ref (count_values kernel) in
+  let last = ref (Tawa_obs.Registry.now ()) in
   let record pass k applied =
-    trace := { pass; ops_after = Kernel.count_ops k; applied } :: !trace;
+    let dt = Tawa_obs.Registry.now () -. !last in
+    let ops_after = Kernel.count_ops k in
+    let values_after = count_values k in
+    Tawa_obs.Registry.observe ("passes." ^ pass) dt;
+    trace :=
+      { pass; ops_after; ops_delta = ops_after - !prev_ops;
+        values_delta = values_after - !prev_values; ms = dt *. 1000.0; applied }
+      :: !trace;
+    prev_ops := ops_after;
+    prev_values := values_after;
     (* Verify even when the pass did not apply: a no-op pass must not be
        able to hide a malformed clone it produced along the way. *)
-    if options.verify_each then Verifier.verify k;
+    if options.verify_each then begin
+      let v0 = Tawa_obs.Registry.now () in
+      Verifier.verify k;
+      Tawa_obs.Registry.observe "passes.verify" (Tawa_obs.Registry.now () -. v0)
+    end;
+    last := Tawa_obs.Registry.now ();
     k
   in
   let checking = options.check || Tawa_analysis.Arefcheck.enabled_via_env () in

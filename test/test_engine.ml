@@ -38,6 +38,14 @@ let cfg = Config.h100
 (* Outcome equality (exact)                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* Stall attribution and channel occupancy must also match bit for bit
+   (PR 5 telemetry): both records contain only scalars and float
+   arrays, so structural equality is exact float equality. *)
+let profiles_equal (a : Sim.profile) (b : Sim.profile) =
+  a.Sim.wall = b.Sim.wall
+  && a.Sim.wg_profs = b.Sim.wg_profs
+  && a.Sim.chan_profs = b.Sim.chan_profs
+
 let outcomes_equal (a : Sim.outcome) (b : Sim.outcome) =
   a.Sim.cycles = b.Sim.cycles
   && a.Sim.instructions = b.Sim.instructions
@@ -47,6 +55,7 @@ let outcomes_equal (a : Sim.outcome) (b : Sim.outcome) =
   && a.Sim.stats.Sim.wgmma_count = b.Sim.stats.Sim.wgmma_count
   && a.Sim.stats.Sim.tma_count = b.Sim.stats.Sim.tma_count
   && a.Sim.stats.Sim.steps = b.Sim.stats.Sim.steps
+  && profiles_equal a.Sim.profile b.Sim.profile
 
 (* Run one CTA of a hand-built program under both engines. [mk_pop]
    builds a fresh queue per engine run (queues are stateful). *)

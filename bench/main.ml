@@ -8,7 +8,7 @@
 
    Flags:
      --json [PATH]   also write a machine-readable trajectory record
-                     (default PATH: BENCH_PR4.json). Each selected
+                     (default PATH: BENCH_PR6.json). Each selected
                      figure is timed three times: the tree-walking
                      reference engine on 1 domain, the decoded
                      (closure-compiled) engine on 1 domain — isolating
@@ -16,6 +16,10 @@
                      on the full domain pool (the composed speedup).
                      Caches are cleared before each pass so every pass
                      pays one compile+decode per distinct program.
+                     Figures with a representative wave additionally
+                     run the four simulation-mode passes (functional /
+                     timing-only / timing+pool / timing+replication);
+                     see the comment above [run_modes].
      --domains N     override the worker-domain count (default:
                      TAWA_DOMAINS or Domain.recommended_domain_count)
      --seq           shorthand for --domains 1
@@ -621,6 +625,151 @@ let verify_grid () =
       ("max_rel_diff_vs_reference", Json.Float rel); ("pass", Json.Bool pass) ]
 
 (* ------------------------------------------------------------------ *)
+(* Simulation-mode columns: functional / timing-only / timing+pool /   *)
+(* timing+replication on a pinned representative wave per figure       *)
+(* ------------------------------------------------------------------ *)
+
+(* Full figures are out of reach for functional execution (one
+   paper-scale GEMM candidate alone is ~17 GMAC), so each figure's
+   mode columns run a pinned representative wave — real buffers, the
+   same warp-specialized programs the figure sweeps, and a shrunken SM
+   count so one SM's share holds several CTAs of each equivalence
+   class — through [Launch.estimate_grouped] under four
+   configurations:
+
+     functional            mode=Functional, 1 domain, replication off
+     timing-only           mode=Timing,     1 domain, replication off
+     timing + pool         mode=Timing,     domain pool, replication off
+     timing + replication  mode=Timing,     domain pool, replication on
+
+   All four must agree bit-for-bit on the estimated cycles
+   ([outcomes_equal]). The functional pass is the PR4-parity decoded
+   baseline — timing-only stream optimizations auto-disable in
+   functional mode — so composed_speedup = functional / replication is
+   the honest product of the three levers on identical simulated
+   work. Programs are decoded for both modes before timing starts;
+   the passes measure simulation, not compilation. *)
+let modes_num_sms = 4
+
+let rep_gemm_items shapes () =
+  List.mapi
+    (fun i (m, n, kk) ->
+      let kernel = Kernels.gemm ~tiles ~dtype:Dtype.F16 () in
+      let compiled =
+        Flow.compile
+          ~options:
+            { Flow.aref_depth = 3; mma_depth = 2; num_consumer_wgs = 1;
+              persistent = false; use_coarse = false }
+          kernel
+      in
+      let a = Tensor.random ~dtype:Dtype.F16 ~seed:(41 + i) [| m; kk |] in
+      let b = Tensor.random ~dtype:Dtype.F16 ~seed:(53 + i) [| kk; n |] in
+      let c = Tensor.create ~dtype:Dtype.F16 [| m; n |] in
+      let grid = (m / tiles.Kernels.block_m, n / tiles.Kernels.block_n, 1) in
+      ( compiled.Flow.program,
+        [ Sim.Rtensor a; Sim.Rtensor b; Sim.Rtensor c; Sim.Rint m; Sim.Rint n;
+          Sim.Rint kk ],
+        grid,
+        Reference.gemm_flops ~m ~n ~k:kk ))
+    shapes
+
+let mode_waves =
+  [ ( "fig8",
+      ( "fp16 gemm 1024x1024x1024, one 8x8 wave of 128x128 tiles",
+        rep_gemm_items [ (1024, 1024, 1024) ] ) );
+    ( "fig9",
+      ( "grouped fp16 gemms 512^3 + 512x1024x512 + 1024x512x512 + 512x512x1024",
+        rep_gemm_items
+          [ (512, 512, 512); (512, 1024, 512); (1024, 512, 512);
+            (512, 512, 1024) ] ) );
+    ( "fig11",
+      ( "fp16 gemm 1024x1024x2048, one 8x8 wave of 128x128 tiles",
+        rep_gemm_items [ (1024, 1024, 2048) ] ) );
+    ( "fig12",
+      ( "fp16 gemm 2048x1024x512, 16x8 wave of 128x128 tiles",
+        rep_gemm_items [ (2048, 1024, 512) ] ) ) ]
+
+let registry_counter name =
+  match List.assoc_opt name (Tawa_obs.Registry.snapshot ()) with
+  | Some (Tawa_obs.Registry.Int i) -> i
+  | _ -> 0
+
+let run_modes name =
+  match List.assoc_opt name mode_waves with
+  | None -> Json.Null
+  | Some (desc, mk_items) ->
+    let mcfg = { cfg with Config.num_sms = modes_num_sms } in
+    let items = mk_items () in
+    (* Warm both per-mode decode-cache entries (the cache key includes
+       the execution mode) so every pass times pure simulation. *)
+    List.iter
+      (fun (p, _, _, _) ->
+        ignore
+          (Tawa_gpusim.Engine.prepare
+             ~cfg:{ mcfg with Config.mode = Config.Functional } p);
+        ignore
+          (Tawa_gpusim.Engine.prepare
+             ~cfg:{ mcfg with Config.mode = Config.Timing } p))
+      items;
+    let was_replicating = Launch.replication_enabled () in
+    let pass ?(repeat = 1) ~mode ~domains ~replicate () =
+      Launch.set_replication_enabled replicate;
+      Pool.set_default_domains domains;
+      let best = ref infinity and cycles = ref Float.nan in
+      for _ = 1 to repeat do
+        let t0 = Unix.gettimeofday () in
+        let t = Launch.estimate_grouped ~mode ~cfg:mcfg items in
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < !best then best := dt;
+        cycles := t.Launch.cycles
+      done;
+      Pool.set_default_domains None;
+      Launch.set_replication_enabled was_replicating;
+      (!best, !cycles)
+    in
+    let t_fun, c_fun =
+      pass ~mode:Config.Functional ~domains:(Some 1) ~replicate:false ()
+    in
+    let t_tim, c_tim =
+      pass ~repeat:5 ~mode:Config.Timing ~domains:(Some 1) ~replicate:false ()
+    in
+    let t_pool, c_pool =
+      pass ~repeat:5 ~mode:Config.Timing ~domains:None ~replicate:false ()
+    in
+    let sim0 = registry_counter "launch.replication.simulated" in
+    let rep0 = registry_counter "launch.replication.replicated" in
+    let reps = 5 in
+    let t_rep, c_rep =
+      pass ~repeat:reps ~mode:Config.Timing ~domains:None ~replicate:true ()
+    in
+    let simulated = (registry_counter "launch.replication.simulated" - sim0) / reps in
+    let replicated = (registry_counter "launch.replication.replicated" - rep0) / reps in
+    let equal = c_fun = c_tim && c_tim = c_pool && c_pool = c_rep in
+    let sp a b = if b > 0.0 then a /. b else 1.0 in
+    pr "  mode passes (%s; %d SMs):\n" desc modes_num_sms;
+    pr "    functional            %9.4fs\n" t_fun;
+    pr "    timing-only           %9.4fs  (%8.1fx)\n" t_tim (sp t_fun t_tim);
+    pr "    timing + pool         %9.4fs  (%8.1fx)\n" t_pool (sp t_fun t_pool);
+    pr "    timing + replication  %9.4fs  (%8.1fx composed)\n" t_rep (sp t_fun t_rep);
+    pr "    cycles bit-identical across all four: %b   CTAs simulated %d, replicated %d\n"
+      equal simulated replicated;
+    Json.Obj
+      [ ("workload", Json.Str desc);
+        ("num_sms", Json.Int modes_num_sms);
+        ("functional_seconds", Json.Float t_fun);
+        ("timing_seconds", Json.Float t_tim);
+        ("timing_pool_seconds", Json.Float t_pool);
+        ("timing_replication_seconds", Json.Float t_rep);
+        ("cycles", Json.Float c_rep);
+        ("outcomes_equal", Json.Bool equal);
+        ("speedup_timing", Json.Float (sp t_fun t_tim));
+        ("speedup_pool", Json.Float (sp t_tim t_pool));
+        ("speedup_replication", Json.Float (sp t_pool t_rep));
+        ("composed_speedup", Json.Float (sp t_fun t_rep));
+        ("units_simulated", Json.Int simulated);
+        ("units_replicated", Json.Int replicated) ]
+
+(* ------------------------------------------------------------------ *)
 
 let all_figures =
   [ ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
@@ -642,6 +791,7 @@ type fig_result = {
   r_dec_instr : int;
   r_cache : Tawa_machine.Progcache.stats;
   r_data : Json.t;
+  r_modes : Json.t; (* four simulation-mode passes, Null if no wave *)
 }
 
 let no_stats = { Tawa_machine.Progcache.hits = 0; misses = 0; evictions = 0 }
@@ -665,7 +815,8 @@ let run_figure ~json (name, f) =
   if not json then begin
     ignore (f ());
     { r_name = name; r_ref = 0.0; r_dec = 0.0; r_par = 0.0; r_ref_instr = 0;
-      r_dec_instr = 0; r_cache = no_stats; r_data = Json.Null }
+      r_dec_instr = 0; r_cache = no_stats; r_data = Json.Null;
+      r_modes = Json.Null }
   end
   else begin
     let r_ref, r_ref_instr, _ =
@@ -677,8 +828,9 @@ let run_figure ~json (name, f) =
     let r_par, _, data =
       timed_pass ~engine:(Some Config.Decoded) ~domains:None ~silent:false f
     in
+    let r_modes = run_modes name in
     { r_name = name; r_ref; r_dec; r_par; r_ref_instr; r_dec_instr;
-      r_cache = Flow.cache_stats (); r_data = data }
+      r_cache = Flow.cache_stats (); r_data = data; r_modes }
   end
 
 let () =
@@ -689,7 +841,7 @@ let () =
   let rec parse = function
     | [] -> ()
     | "--json" :: rest -> (
-      json := Some "BENCH_PR4.json";
+      json := Some "BENCH_PR6.json";
       match rest with
       | path :: rest' when String.length path > 0 && path.[0] <> '-' && not (List.mem_assoc path all_figures) ->
         json := Some path;
@@ -736,11 +888,13 @@ let () =
     let doc =
       Json.Obj
         [ ("schema", Json.Str "tawa-bench-trajectory/v1");
-          ("pr", Json.Int 4);
+          ("pr", Json.Int 6);
           ( "engine",
             Json.Str
-              "decode-once closure-compiled CTA engine + event-driven scheduler (over \
-               PR1's domain pool and compile cache)" );
+              "decode-once closure-compiled CTA engine + event-driven scheduler, with \
+               timing-only stream optimization, vectorized tile ops, and \
+               symmetry-replicated CTA waves (over PR1's domain pool and compile \
+               cache)" );
           ( "host",
             Json.Obj
               [ ("cores", Json.Int (Domain.recommended_domain_count ()));
@@ -767,6 +921,7 @@ let () =
                            [ ("hits", Json.Int r.r_cache.Tawa_machine.Progcache.hits);
                              ("misses", Json.Int r.r_cache.Tawa_machine.Progcache.misses);
                              ("evictions", Json.Int r.r_cache.Tawa_machine.Progcache.evictions) ] );
+                       ("modes", r.r_modes);
                        ("data", r.r_data) ])
                  results) );
           ("functional_verification", verify);

@@ -158,11 +158,21 @@ let emit_profile ~obs ~kernel_name (t : Launch.timing) =
               ("cycles", Tawa_obs.Json.Float t.Launch.cycles);
               ("profile", Sim.profile_to_json prof) ]))
 
-let do_run path kernel_name d p coop persistent coarse sw naive m n kk l engine obs =
+(* Resolve the effective execution mode: explicit --mode wins, then
+   TAWA_MODE, then the command's default ([run] verifies functionally
+   by default; [profile] only needs cycles). *)
+let resolve_mode ~default = function
+  | Some m -> m
+  | None -> ( match Config.mode_of_env () with Some m -> m | None -> default)
+
+let do_run path kernel_name d p coop persistent coarse sw naive m n kk l engine obs
+    emode =
   try
     let mode =
       if naive then Naive else match sw with Some s -> Sw_pipeline s | None -> Tawa_ws
     in
+    let emode = resolve_mode ~default:Config.Functional emode in
+    let functional = emode = Config.Functional in
     let options = options_of ~d ~p ~coop ~persistent ~coarse in
     let kernels = read_kernels path kernel_name in
     let cfg = { Config.functional_test with Config.engine } in
@@ -178,20 +188,28 @@ let do_run path kernel_name d p coop persistent coarse sw naive m n kk l engine 
           let tile_m, tile_n =
             match store_tile k with Some x -> x | None -> (16, 16)
           in
-          let a = Tensor.random ~dtype:Dtype.F16 ~seed:1 [| m; kk |] in
-          let b = Tensor.random ~dtype:Dtype.F16 ~seed:2 [| kk; n |] in
-          let cbuf = Tensor.create ~dtype:Dtype.F16 [| m; n |] in
-          ignore
-            (Launch.run_grid_functional ~cfg c.Flow.program
-               ~params:
-                 [ Sim.Rtensor a; Sim.Rtensor b; Sim.Rtensor cbuf; Sim.Rint m;
-                   Sim.Rint n; Sim.Rint kk ]
-               ~grid:(m / tile_m, n / tile_n, 1));
-          let want = Reference.gemm ~out_dtype:Dtype.F16 a b in
-          let diff = Tensor.max_rel_diff cbuf want in
-          Printf.printf "kernel @%s (gemm %dx%dx%d): max rel diff vs reference = %.2e %s\n"
-            k.Kernel.name m n kk diff
-            (if diff < 1e-3 then "[OK]" else "[MISMATCH]");
+          if functional then begin
+            let a = Tensor.random ~dtype:Dtype.F16 ~seed:1 [| m; kk |] in
+            let b = Tensor.random ~dtype:Dtype.F16 ~seed:2 [| kk; n |] in
+            let cbuf = Tensor.create ~dtype:Dtype.F16 [| m; n |] in
+            ignore
+              (Launch.run_grid_functional ~cfg c.Flow.program
+                 ~params:
+                   [ Sim.Rtensor a; Sim.Rtensor b; Sim.Rtensor cbuf; Sim.Rint m;
+                     Sim.Rint n; Sim.Rint kk ]
+                 ~grid:(m / tile_m, n / tile_n, 1));
+            let want = Reference.gemm ~out_dtype:Dtype.F16 a b in
+            let diff = Tensor.max_rel_diff cbuf want in
+            Printf.printf
+              "kernel @%s (gemm %dx%dx%d): max rel diff vs reference = %.2e %s\n"
+              k.Kernel.name m n kk diff
+              (if diff < 1e-3 then "[OK]" else "[MISMATCH]")
+          end
+          else
+            Printf.printf
+              "kernel @%s (gemm %dx%dx%d): timing-only mode, functional verification \
+               skipped\n"
+              k.Kernel.name m n kk;
           (* Timing estimate at the same shape. *)
           let t =
             Launch.estimate ~cfg:tcfg c.Flow.program
@@ -206,21 +224,40 @@ let do_run path kernel_name d p coop persistent coarse sw naive m n kk l engine 
           let tile_m, d_head =
             match store_tile k with Some x -> x | None -> (16, 8)
           in
-          let q = Tensor.random ~dtype:Dtype.F16 ~seed:1 [| l; d_head |] in
-          let kt = Tensor.random ~dtype:Dtype.F16 ~seed:2 [| l; d_head |] in
-          let v = Tensor.random ~dtype:Dtype.F16 ~seed:3 [| l; d_head |] in
-          let o = Tensor.create ~dtype:Dtype.F16 [| l; d_head |] in
-          ignore
-            (Launch.run_grid_functional ~cfg c.Flow.program
-               ~params:
-                 [ Sim.Rtensor q; Sim.Rtensor kt; Sim.Rtensor v; Sim.Rtensor o; Sim.Rint l ]
-               ~grid:(l / tile_m, 1, 1));
-          let want = Reference.attention ~out_dtype:Dtype.F16 ~q ~k:kt ~v () in
-          let diff = Tensor.max_rel_diff o want in
-          Printf.printf
-            "kernel @%s (attention L=%d d=%d): max rel diff vs reference = %.2e %s\n"
-            k.Kernel.name l d_head diff
-            (if diff < 2e-2 then "[OK]" else "[MISMATCH]")
+          if functional then begin
+            let q = Tensor.random ~dtype:Dtype.F16 ~seed:1 [| l; d_head |] in
+            let kt = Tensor.random ~dtype:Dtype.F16 ~seed:2 [| l; d_head |] in
+            let v = Tensor.random ~dtype:Dtype.F16 ~seed:3 [| l; d_head |] in
+            let o = Tensor.create ~dtype:Dtype.F16 [| l; d_head |] in
+            ignore
+              (Launch.run_grid_functional ~cfg c.Flow.program
+                 ~params:
+                   [ Sim.Rtensor q; Sim.Rtensor kt; Sim.Rtensor v; Sim.Rtensor o; Sim.Rint l ]
+                 ~grid:(l / tile_m, 1, 1));
+            let want = Reference.attention ~out_dtype:Dtype.F16 ~q ~k:kt ~v () in
+            let diff = Tensor.max_rel_diff o want in
+            Printf.printf
+              "kernel @%s (attention L=%d d=%d): max rel diff vs reference = %.2e %s\n"
+              k.Kernel.name l d_head diff
+              (if diff < 2e-2 then "[OK]" else "[MISMATCH]")
+          end
+          else begin
+            Printf.printf
+              "kernel @%s (attention L=%d d=%d): timing-only mode, functional \
+               verification skipped\n"
+              k.Kernel.name l d_head;
+            let t =
+              Launch.estimate ~cfg:tcfg c.Flow.program
+                ~params:[ Sim.Rnone; Sim.Rnone; Sim.Rnone; Sim.Rnone; Sim.Rint l ]
+                ~grid:(l / tile_m, 1, 1)
+                ~flops:(Reference.attention_flops ~batch:1 ~heads:1 ~len:l
+                          ~head_dim:d_head ())
+            in
+            Printf.printf
+              "  simulated: %.2f GFLOPS, %.0f cycles, TC utilization %.0f%%\n"
+              (t.Launch.tflops *. 1e3) t.Launch.cycles
+              (100.0 *. t.Launch.tc_utilization)
+          end
         | `Unknown ->
           Printf.printf "kernel @%s: unrecognized signature; compile-only\n" k.Kernel.name)
       kernels;
@@ -243,11 +280,12 @@ let do_run path kernel_name d p coop persistent coarse sw naive m n kk l engine 
    writes a Chrome trace-event JSON of the per-unit busy/stall
    intervals (load in Perfetto / chrome://tracing). *)
 let do_profile path kernel_name d p coop persistent coarse sw naive m n kk l engine obs
-    trace_out =
+    trace_out emode =
   try
     let mode =
       if naive then Naive else match sw with Some s -> Sw_pipeline s | None -> Tawa_ws
     in
+    let emode = resolve_mode ~default:Config.Timing emode in
     let options = options_of ~d ~p ~coop ~persistent ~coarse in
     let kernels = read_kernels path kernel_name in
     if kernels = [] then begin
@@ -265,8 +303,17 @@ let do_profile path kernel_name d p coop persistent coarse sw naive m n kk l eng
             let tile_m, tile_n =
               match store_tile k with Some x -> x | None -> (16, 16)
             in
+            (* Functional mode simulates the payload, so the TMA pointers
+               must bind real buffers; timing mode only needs shapes. *)
+            let ptrs =
+              if emode = Config.Functional then
+                [ Sim.Rtensor (Tensor.random ~dtype:Dtype.F16 ~seed:1 [| m; kk |]);
+                  Sim.Rtensor (Tensor.random ~dtype:Dtype.F16 ~seed:2 [| kk; n |]);
+                  Sim.Rtensor (Tensor.create ~dtype:Dtype.F16 [| m; n |]) ]
+              else [ Sim.Rnone; Sim.Rnone; Sim.Rnone ]
+            in
             Some
-              ( [ Sim.Rnone; Sim.Rnone; Sim.Rnone; Sim.Rint m; Sim.Rint n; Sim.Rint kk ],
+              ( ptrs @ [ Sim.Rint m; Sim.Rint n; Sim.Rint kk ],
                 (m / tile_m, n / tile_n, 1),
                 Reference.gemm_flops ~m ~n ~k:kk,
                 Printf.sprintf "gemm %dx%dx%d" m n kk )
@@ -274,8 +321,16 @@ let do_profile path kernel_name d p coop persistent coarse sw naive m n kk l eng
             let tile_m, d_head =
               match store_tile k with Some x -> x | None -> (16, 8)
             in
+            let ptrs =
+              if emode = Config.Functional then
+                [ Sim.Rtensor (Tensor.random ~dtype:Dtype.F16 ~seed:1 [| l; d_head |]);
+                  Sim.Rtensor (Tensor.random ~dtype:Dtype.F16 ~seed:2 [| l; d_head |]);
+                  Sim.Rtensor (Tensor.random ~dtype:Dtype.F16 ~seed:3 [| l; d_head |]);
+                  Sim.Rtensor (Tensor.create ~dtype:Dtype.F16 [| l; d_head |]) ]
+              else [ Sim.Rnone; Sim.Rnone; Sim.Rnone; Sim.Rnone ]
+            in
             Some
-              ( [ Sim.Rnone; Sim.Rnone; Sim.Rnone; Sim.Rnone; Sim.Rint l ],
+              ( ptrs @ [ Sim.Rint l ],
                 (l / tile_m, 1, 1),
                 Reference.attention_flops ~batch:1 ~heads:1 ~len:l ~head_dim:d_head (),
                 Printf.sprintf "attention L=%d d=%d" l d_head )
@@ -287,7 +342,9 @@ let do_profile path kernel_name d p coop persistent coarse sw naive m n kk l eng
             k.Kernel.name;
           unknown := true
         | Some (params, grid, flops, desc) ->
-          let t = Launch.estimate ~cfg:tcfg c.Flow.program ~params ~grid ~flops in
+          let t =
+            Launch.estimate ~mode:emode ~cfg:tcfg c.Flow.program ~params ~grid ~flops
+          in
           (match obs with
           | `Json -> emit_profile ~obs:(Some `Json) ~kernel_name:k.Kernel.name t
           | `Table ->
@@ -389,6 +446,19 @@ let engine_arg =
            ~doc:"Simulator execution engine: $(b,decoded) (closure-compiled, the default) \
                  or $(b,reference) (tree-walking oracle). Unset defers to \\$(b,TAWA_ENGINE).")
 
+let mode_arg =
+  let mode_conv =
+    Arg.enum [ ("functional", Config.Functional); ("timing", Config.Timing) ]
+  in
+  Arg.(value & opt (some mode_conv) None
+       & info [ "mode" ] ~docv:"MODE"
+           ~doc:"Execution mode: $(b,functional) simulates the tile payload (and, under \
+                 $(b,run), verifies results against the CPU reference) while \
+                 $(b,timing) skips data movement whose values never reach an address, \
+                 predicate, or cost -- cycle-identical but much faster. Unset defers \
+                 to \\$(b,TAWA_MODE); $(b,run) defaults to functional, $(b,profile) \
+                 to timing.")
+
 let obs_conv = Arg.enum [ ("table", `Table); ("json", `Json) ]
 
 let obs_opt_arg =
@@ -429,7 +499,7 @@ let run_cmd =
     Term.(
       const do_run $ file_arg $ kernel_arg $ d_arg $ p_arg $ coop_arg $ persistent_arg
       $ coarse_arg $ sw_arg $ naive_arg $ m_arg $ n_arg $ k_arg $ l_arg $ engine_arg
-      $ obs_opt_arg)
+      $ obs_opt_arg $ mode_arg)
 
 let profile_cmd =
   let doc =
@@ -440,7 +510,7 @@ let profile_cmd =
     Term.(
       const do_profile $ file_arg $ kernel_arg $ d_arg $ p_arg $ coop_arg
       $ persistent_arg $ coarse_arg $ sw_arg $ naive_arg $ m_arg $ n_arg $ k_arg $ l_arg
-      $ engine_arg $ obs_arg $ trace_arg)
+      $ engine_arg $ obs_arg $ trace_arg $ mode_arg)
 
 let () =
   (* Timers in --obs output should report wall clock, not CPU time. *)

@@ -1,0 +1,143 @@
+(** Symmetry-replication validity: may one CTA's timing outcome stand
+    in for every CTA of its equivalence class?
+
+    A class groups CTAs of a wave that run the same program with the
+    same cost inputs (parameter bindings and grid extent); within a
+    class only the CTA id differs. Replication — simulating one
+    representative and reusing its timing for the rest — is
+    bit-identical exactly when the timing semantics cannot observe the
+    CTA id. The simulator's timing mode already discards functional
+    payloads, so the id can only leak through scalar dataflow:
+
+    - a branch condition derived from [Pid] changes the instruction
+      path (boundary tiles, causal masking);
+    - an mbarrier / prefetch-ring index or wait target derived from
+      [Pid] changes the synchronization schedule;
+    - an SMEM slot index derived from [Pid] changes which buffer a
+      copy lands in and thus the pipeline overlap;
+    - [Workq_pop] draws from the shared queue, so its timing depends
+      on pop order, not just the id.
+
+    The predicate is a conservative flow-insensitive taint analysis
+    over each instruction stream: [Pid] destinations are tainted,
+    taint propagates through scalar ALU dataflow, and any tainted
+    value reaching one of the sinks above refuses replication.
+    Addresses, TMA coordinates and descriptor contents are timing-dead
+    (costs depend on shapes and dtypes only), so taint may flow there
+    freely. On top of the taint check, the program must be
+    arefcheck-clean: a protocol violation means the synchronization
+    schedule is not trustworthy enough to extrapolate from one CTA.
+
+    [Npid] (grid extent) is NOT a taint source: it is constant across
+    the class by construction. *)
+
+open Tawa_machine
+
+type verdict = Replicable | Refused of string
+
+let verdict_to_string = function
+  | Replicable -> "replicable"
+  | Refused r -> "refused: " ^ r
+
+(* Taint one stream; [Some reason] refuses replication. *)
+let stream_refusal (s : Isa.stream) : string option =
+  let tainted = Hashtbl.create 16 in
+  let t_op = function
+    | Isa.Reg r -> Hashtbl.mem tainted r
+    | Isa.Imm _ | Isa.Fimm _ -> false
+  in
+  let t_slot (sl : Isa.smem_slot) = t_op sl.Isa.slot in
+  let t_view (v : Isa.smem_view) = t_slot v.Isa.src in
+  let t_wsrc = function Isa.Wreg _ -> false | Isa.Wsmem v -> t_view v in
+  let refusal = ref None in
+  let refuse what = if !refusal = None then refusal := Some what in
+  let changed = ref true in
+  while !changed && !refusal = None do
+    changed := false;
+    Array.iter
+      (fun (i : Isa.instr) ->
+        let add r =
+          if not (Hashtbl.mem tainted r) then begin
+            Hashtbl.add tainted r ();
+            changed := true
+          end
+        in
+        match i with
+        | Isa.Pid { dst; _ } -> add dst
+        | Isa.Workq_pop _ -> refuse "pops the shared work queue"
+        | Isa.Mov { dst; src } -> if t_op src then add dst
+        | Isa.Alu { dst; a; b; _ } | Isa.Cmp { dst; a; b; _ } ->
+          if t_op a || t_op b then add dst
+        | Isa.Sel { dst; cond; a; b } ->
+          if t_op cond || t_op a || t_op b then add dst
+        | Isa.Mkdesc { dst; ptr; sizes; strides; _ } ->
+          if t_op ptr || List.exists t_op sizes || List.exists t_op strides
+          then add dst
+        | Isa.Brz { cond; _ } | Isa.Brnz { cond; _ } ->
+          if t_op cond then refuse "branches on a CTA-id-derived value"
+        | Isa.Mbar_wait { bar; target } ->
+          if t_op bar.Isa.index || t_op target then
+            refuse "mbarrier wait indexed or targeted by a CTA-id-derived value"
+        | Isa.Mbar_arrive m ->
+          if t_op m.Isa.index then
+            refuse "mbarrier arrive indexed by a CTA-id-derived value"
+        | Isa.Tma_load { full; dst; _ } ->
+          if t_op full.Isa.index then
+            refuse "TMA completion barrier indexed by a CTA-id-derived value"
+          else if t_slot dst then
+            refuse "TMA destination slot indexed by a CTA-id-derived value"
+        | Isa.Cp_async { dst; _ } ->
+          if t_slot dst then
+            refuse "cp.async destination slot indexed by a CTA-id-derived value"
+        | Isa.Cp_wait_ring { target; _ } ->
+          if t_op target then
+            refuse "prefetch-ring wait targeted by a CTA-id-derived value"
+        | Isa.Lds { src; _ } ->
+          if t_view src then
+            refuse "SMEM load slot indexed by a CTA-id-derived value"
+        | Isa.Sts { dst; _ } ->
+          if t_slot dst then
+            refuse "SMEM store slot indexed by a CTA-id-derived value"
+        | Isa.Wgmma { a; b; _ } ->
+          if t_wsrc a || t_wsrc b then
+            refuse "WGMMA operand slot indexed by a CTA-id-derived value"
+        | _ -> ())
+      s.Isa.instrs
+  done;
+  !refusal
+
+let compute (p : Isa.program) : verdict =
+  if p.Isa.persistent then
+    Refused "persistent program (work-queue pop order is CTA-dependent)"
+  else
+    match List.find_map stream_refusal p.Isa.streams with
+    | Some r -> Refused r
+    | None -> (
+      match Diagnostic.errors (Arefcheck.check_program p) with
+      | [] -> Replicable
+      | d :: _ -> Refused ("arefcheck: " ^ d.Diagnostic.message))
+
+(* Verdicts are per-program and the predicate is pure; memoize on the
+   program fingerprint so launch-path callers (one probe per estimate)
+   pay the analysis once per distinct program. Guarded: the launch
+   layer runs estimates on a domain pool. *)
+let memo : (string, verdict) Hashtbl.t = Hashtbl.create 32
+let memo_lock = Mutex.create ()
+
+let verdict (p : Isa.program) : verdict =
+  let key = Progcache.program_fingerprint p in
+  Mutex.lock memo_lock;
+  let v =
+    match Hashtbl.find_opt memo key with
+    | Some v -> v
+    | None ->
+      (* [compute] is pure and touches no shared state; holding the
+         lock across it keeps the first computation single-shot. *)
+      let v = compute p in
+      Hashtbl.add memo key v;
+      v
+  in
+  Mutex.unlock memo_lock;
+  v
+
+let replicable p = verdict p = Replicable

@@ -17,6 +17,36 @@ open Tawa_tensor
     it bit-for-bit on cycles, stats, and functional outputs. *)
 type engine = Reference | Decoded
 
+(** Execution mode of a simulation.
+
+    [Functional] carries real tile payloads through every register plane
+    and shared-memory slot: tile ops compute on tensors, stores write
+    back to global buffers, and the run's outputs can be compared
+    against {!Tawa_tensor.Reference}. [Timing] propagates only the
+    values that can influence the cost model — scalars that feed
+    addresses, predicates, barrier indices, or per-instruction costs —
+    and replaces tile payloads with their shapes. Cycle counts, stall
+    buckets, and per-WG profiles are identical between the two modes by
+    construction (tile-op costs depend on shapes and dtypes, never on
+    payload values); only functional outputs differ. Callers that only
+    want cycles (autotune, capacity planning, bench sweeps) should run
+    [Timing]. *)
+type mode = Functional | Timing
+
+let mode_to_string = function Functional -> "functional" | Timing -> "timing"
+
+let mode_of_string = function
+  | "functional" | "func" -> Some Functional
+  | "timing" | "time" -> Some Timing
+  | _ -> None
+
+(** Default mode from the [TAWA_MODE] environment variable, if set to a
+    recognized value ("functional" / "timing"). *)
+let mode_of_env () =
+  match Sys.getenv_opt "TAWA_MODE" with
+  | None -> None
+  | Some s -> mode_of_string (String.lowercase_ascii (String.trim s))
+
 type t = {
   clock_ghz : float;
   num_sms : int;
@@ -57,7 +87,7 @@ type t = {
   wgmma_depth_penalty : float;
       (* extra issue cycles per already-pending commit group: live MMA
          fragments increase register pressure (§V-E, the P=3 droop) *)
-  functional : bool;               (* carry real tile payloads *)
+  mode : mode;                     (* carry real tile payloads? *)
   collect_trace : bool;            (* record per-unit busy intervals *)
   engine : engine option;
       (* CTA execution engine; [None] defers to the [TAWA_ENGINE]
@@ -95,13 +125,15 @@ let h100 =
     cta_launch_cycles = 900.0;
     wave_jitter = 1.045;
     wgmma_depth_penalty = 20.0;
-    functional = false;
+    mode = Timing;
     collect_trace = false;
     engine = None;
   }
 
 (** Small, fully functional configuration for correctness tests. *)
-let functional_test = { h100 with functional = true }
+let functional_test = { h100 with mode = Functional }
+
+let is_functional cfg = cfg.mode = Functional
 
 let tc_flops_per_cycle cfg (dtype : Dtype.t) =
   match dtype with

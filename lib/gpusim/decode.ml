@@ -216,19 +216,66 @@ let copy_reg p ~src ~dst =
 
 (* ------------------------ execution context ----------------------- *)
 
+(* Hot per-WG clocks, split into an all-float record so the fields are
+   flat (unboxed): [spend] runs once per retired instruction, and a
+   boxed [mutable float] in the mixed [wg] record would allocate on
+   every update. *)
+type clk = {
+  mutable t : float; (* the WG's clock *)
+  mutable busy : float; (* non-stalled cycles *)
+  mutable wopen : float; (* completion of the latest uncommitted wgmma *)
+}
+
+(* Growable float ring buffer for committed-but-unwaited wgmma group
+   completion times (a [float Queue.t] boxes every element). *)
+type fring = {
+  mutable fbuf : float array;
+  mutable fhead : int;
+  mutable flen : int;
+}
+
+let fring_create () = { fbuf = Array.make 8 0.0; fhead = 0; flen = 0 }
+
+let fring_push r v =
+  let cap = Array.length r.fbuf in
+  if r.flen >= cap then begin
+    let bigger = Array.make (2 * cap) 0.0 in
+    for i = 0 to r.flen - 1 do
+      bigger.(i) <- r.fbuf.((r.fhead + i) mod cap)
+    done;
+    r.fbuf <- bigger;
+    r.fhead <- 0
+  end;
+  r.fbuf.((r.fhead + r.flen) mod Array.length r.fbuf) <- v;
+  r.flen <- r.flen + 1
+
+let fring_pop r =
+  let v = r.fbuf.(r.fhead) in
+  r.fhead <- (r.fhead + 1) mod Array.length r.fbuf;
+  r.flen <- r.flen - 1;
+  v
+
+(* Shared pipe availability horizons, flat for the same reason. *)
+type pipes = { mutable tma_free : float; mutable tc_free : float }
+
 type wg = {
   index : int;
   role : Op.wg_role;
   code : code array;
+  (* Unit metadata driving the scheduler loop ({!Engine.run_decoded}).
+     [lens.(pc)] is how many source instructions the unit at [pc]
+     retires (1 except for timing-mode cost blocks); [local] marks
+     units that may retire inside an ongoing scheduler slot (timing
+     mode only; all-zero otherwise). *)
+  lens : int array;
+  local : Bytes.t;
   mutable pc : int;
-  mutable time : float;
+  c : clk;
   planes : planes;
   mutable state : Sim.wg_state;
-  mutable wgmma_open : float;
-  wgmma_groups : float Queue.t;
+  wgmma_groups : fring;
   mutable pop_round : int;
   mutable wg_pid : int array option;
-  mutable busy : float;
   mutable instret : int;
   mutable in_ready : bool; (* membership flag for the ready heap *)
   buckets : float array; (* per-Stall-bucket cycle attribution *)
@@ -245,8 +292,7 @@ and ectx = {
   smem_base : int array;
   smem_slots : int array;
   smem_over : (int * int, Tensor.t) Hashtbl.t; (* out-of-range fallback *)
-  mutable tma_free : float;
-  mutable tc_free : float;
+  pipes : pipes; (* shared TMA/TC pipe horizons, flat floats *)
   mutable fence_waiters : int list;
   mutable popped : int array;
   mutable popped_len : int;
@@ -269,7 +315,7 @@ and code = ectx -> wg -> unit
    when it is unblocked (pushed afterwards). *)
 and ready = { mutable heap : wg array; mutable n : int }
 
-let wg_before a b = a.time < b.time || (a.time = b.time && a.index < b.index)
+let wg_before a b = a.c.t < b.c.t || (a.c.t = b.c.t && a.index < b.index)
 
 let ready_push ctx w =
   let q = ctx.ready in
@@ -297,33 +343,34 @@ let ready_push ctx w =
     done
   end
 
-let ready_pop ctx =
+(* Pop the earliest ready WG; requires [ctx.ready.n > 0] (the
+   scheduler checks emptiness first to keep the hot path option-free). *)
+let ready_pop_exn ctx =
   let q = ctx.ready in
-  if q.n = 0 then None
-  else begin
-    let top = q.heap.(0) in
-    q.n <- q.n - 1;
-    if q.n > 0 then begin
-      q.heap.(0) <- q.heap.(q.n);
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < q.n && wg_before q.heap.(l) q.heap.(!smallest) then smallest := l;
-        if r < q.n && wg_before q.heap.(r) q.heap.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = q.heap.(!smallest) in
-          q.heap.(!smallest) <- q.heap.(!i);
-          q.heap.(!i) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end;
-    top.in_ready <- false;
-    Some top
-  end
+  let top = q.heap.(0) in
+  q.n <- q.n - 1;
+  if q.n > 0 then begin
+    q.heap.(0) <- q.heap.(q.n);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < q.n && wg_before q.heap.(l) q.heap.(!smallest) then smallest := l;
+      if r < q.n && wg_before q.heap.(r) q.heap.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = q.heap.(!smallest) in
+        q.heap.(!smallest) <- q.heap.(!i);
+        q.heap.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done
+  end;
+  top.in_ready <- false;
+  top
+
+let ready_pop ctx = if ctx.ready.n = 0 then None else Some (ready_pop_exn ctx)
 
 (* ------------------------------ SMEM ------------------------------ *)
 
@@ -353,9 +400,9 @@ let smem_get ctx alloc slot =
 
 (* ------------------------- event wake-ups ------------------------- *)
 
-let spend w b c =
-  w.time <- w.time +. c;
-  w.busy <- w.busy +. c;
+let[@inline] spend w b c =
+  w.c.t <- w.c.t +. c;
+  w.c.busy <- w.c.busy +. c;
   w.buckets.(b) <- w.buckets.(b) +. c
 
 (* Blocked-time jump attribution; same guard as [Sim.stalled]. *)
@@ -366,25 +413,35 @@ let stalled w b dt = if dt > 0.0 then w.buckets.(b) <- w.buckets.(b) +. dt
    recorded completion time and the waiter's frozen clock fully
    determine the wake time, so waking eagerly at arrival is
    bit-identical to the reference's rescan-every-iteration. *)
+let wake_mbar_one ctx i bar target w =
+  let ct = Mbarrier.completion_time bar target in
+  let nt = Float.max w.c.t ct +. ctx.cfg.Config.mbar_cycles in
+  stalled w b_mbar (nt -. w.c.t);
+  ctx.mbar_wait.(i) <-
+    ctx.mbar_wait.(i) +. Float.max 0.0 (Float.max w.c.t ct -. w.c.t);
+  Mbarrier.note_consumed bar ~target;
+  w.c.t <- nt;
+  w.state <- Sim.Running;
+  w.pc <- w.pc + 1;
+  ready_push ctx w
+
 let wake_mbar ctx i bar =
   match ctx.mbar_waiters.(i) with
   | [] -> ()
+  (* The overwhelmingly common case — one blocked consumer — skips the
+     [List.filter] closure and list rebuild. *)
+  | [ (target, w) ] ->
+    if Mbarrier.completions bar >= target then begin
+      ctx.mbar_waiters.(i) <- [];
+      wake_mbar_one ctx i bar target w
+    end
   | waiters ->
     let have = Mbarrier.completions bar in
     let still =
       List.filter
         (fun (target, w) ->
           if have >= target then begin
-            let ct = Mbarrier.completion_time bar target in
-            let nt = Float.max w.time ct +. ctx.cfg.Config.mbar_cycles in
-            stalled w b_mbar (nt -. w.time);
-            ctx.mbar_wait.(i) <-
-              ctx.mbar_wait.(i) +. Float.max 0.0 (Float.max w.time ct -. w.time);
-            Mbarrier.note_consumed bar ~target;
-            w.time <- nt;
-            w.state <- Sim.Running;
-            w.pc <- w.pc + 1;
-            ready_push ctx w;
+            wake_mbar_one ctx i bar target w;
             false
           end
           else true)
@@ -392,25 +449,33 @@ let wake_mbar ctx i bar =
     in
     ctx.mbar_waiters.(i) <- still
 
+let wake_ring_one ctx i ring target w =
+  let ct = Mbarrier.completion_time ring target in
+  let nt = Float.max w.c.t ct +. ctx.cfg.Config.scalar_cycles in
+  stalled w b_ring (nt -. w.c.t);
+  ctx.ring_wait.(i) <-
+    ctx.ring_wait.(i) +. Float.max 0.0 (Float.max w.c.t ct -. w.c.t);
+  Mbarrier.note_consumed ring ~target;
+  w.c.t <- nt;
+  w.state <- Sim.Running;
+  w.pc <- w.pc + 1;
+  ready_push ctx w
+
 let wake_ring ctx i ring =
   match ctx.ring_waiters.(i) with
   | [] -> ()
+  | [ (target, w) ] ->
+    if Mbarrier.completions ring >= target then begin
+      ctx.ring_waiters.(i) <- [];
+      wake_ring_one ctx i ring target w
+    end
   | waiters ->
     let have = Mbarrier.completions ring in
     let still =
       List.filter
         (fun (target, w) ->
           if have >= target then begin
-            let ct = Mbarrier.completion_time ring target in
-            let nt = Float.max w.time ct +. ctx.cfg.Config.scalar_cycles in
-            stalled w b_ring (nt -. w.time);
-            ctx.ring_wait.(i) <-
-              ctx.ring_wait.(i) +. Float.max 0.0 (Float.max w.time ct -. w.time);
-            Mbarrier.note_consumed ring ~target;
-            w.time <- nt;
-            w.state <- Sim.Running;
-            w.pc <- w.pc + 1;
-            ready_push ctx w;
+            wake_ring_one ctx i ring target w;
             false
           end
           else true)
@@ -430,15 +495,15 @@ let release_fences ctx =
     if List.length ctx.fence_waiters >= live then begin
       let tmax =
         List.fold_left
-          (fun acc i -> Float.max acc ctx.wgs.(i).time)
+          (fun acc i -> Float.max acc ctx.wgs.(i).c.t)
           0.0 ctx.fence_waiters
       in
       List.iter
         (fun i ->
           let w = ctx.wgs.(i) in
           let nt = tmax +. ctx.cfg.Config.fence_cycles in
-          stalled w b_fence (nt -. w.time);
-          w.time <- nt;
+          stalled w b_fence (nt -. w.c.t);
+          w.c.t <- nt;
           w.state <- Sim.Running;
           w.pc <- w.pc + 1;
           ready_push ctx w)
@@ -513,6 +578,23 @@ let cget (o : Isa.operand) : planes -> float =
         | '\002' -> if Bytes.get p.bools r <> '\000' then 1.0 else 0.0
         | _ -> err "cmp")
 
+(* Inline form of [cget]'s register path, for registers statically
+   below the planes' floor capacity (tag already read). *)
+let[@inline] cmp_coerce p r t =
+  if t = t_float then p.floats.(r)
+  else if t = t_int then Float.of_int p.ints.(r)
+  else if t = t_bool then if Bytes.get p.bools r <> '\000' then 1.0 else 0.0
+  else err "cmp"
+
+(* Inline form of [get_bool]'s register path under the same floor-
+   capacity precondition; same coercions and error string. *)
+let[@inline] bool_at p r =
+  match Bytes.unsafe_get p.tags r with
+  | '\002' -> Bytes.get p.bools r <> '\000'
+  | '\000' -> p.ints.(r) <> 0
+  | '\001' -> p.floats.(r) <> 0.0
+  | _ -> err "sim: expected predicate operand"
+
 (* Generic-value put (Mov/Sel): immediates fold to a typed store, a
    register source is a planewise copy. *)
 let put_of (dst : Isa.reg) (o : Isa.operand) : planes -> unit =
@@ -549,7 +631,7 @@ let compile_offs (offs : Isa.operand list) =
 (* --------------------- instruction compilation -------------------- *)
 
 let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
-  let functional = cfg.Config.functional in
+  let functional = Config.is_functional cfg in
   let sc = cfg.Config.scalar_cycles in
   let tile_cost ~elems ~per_cycle = Sim.tile_cost cfg coop ~elems ~per_cycle in
   match i with
@@ -557,39 +639,124 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
     fun _ctx w ->
       spend w b_compute 1.0;
       w.pc <- w.pc + 1
-  | Isa.Alu { op; dst; a; b } ->
+  | Isa.Alu { op; dst; a; b } -> (
     let iop = int_binop op in
     let fop = Interp.float_binop op in
-    let ka = kget a and kb = kget b in
-    let ia = iget a and ib = iget b in
-    let fa = fget a and fb = fget b in
-    fun _ctx w ->
-      let p = w.planes in
-      let ta = ka p and tb = kb p in
-      (if ta = t_int && tb = t_int then set_int p dst (iop (ia p) (ib p))
-       else if ta <= t_float && tb <= t_float then
-         set_float p dst (fop (fa p) (fb p))
-       else err "sim: bad ALU operands");
-      spend w b_compute sc;
-      w.pc <- w.pc + 1
-  | Isa.Cmp { op; dst; a; b } ->
+    match (a, b) with
+    (* Monolithic arm for the hot register/register shape: real WG
+       planes start at capacity 64 and only grow ({!make_ctx}), so for
+       registers < 64 the tag/plane reads need no capacity guard and
+       the generic operand-getter closures collapse to direct loads.
+       Dispatch, coercions, and error strings mirror the generic path
+       (and thus [Sim.step]) exactly. *)
+    | Isa.Reg ra, Isa.Reg rb when ra < 64 && rb < 64 && dst < 64 ->
+      fun _ctx w ->
+        let p = w.planes in
+        let ta = Bytes.unsafe_get p.tags ra
+        and tb = Bytes.unsafe_get p.tags rb in
+        (if ta = t_int && tb = t_int then begin
+           Bytes.unsafe_set p.tags dst t_int;
+           p.ints.(dst) <- iop p.ints.(ra) p.ints.(rb)
+         end
+         else if ta <= t_float && tb <= t_float then begin
+           let fa =
+             if ta = t_float then p.floats.(ra) else Float.of_int p.ints.(ra)
+           and fb =
+             if tb = t_float then p.floats.(rb) else Float.of_int p.ints.(rb)
+           in
+           Bytes.unsafe_set p.tags dst t_float;
+           p.floats.(dst) <- fop fa fb
+         end
+         else err "sim: bad ALU operands");
+        spend w b_compute sc;
+        w.pc <- w.pc + 1
+    | Isa.Reg ra, Isa.Imm ib when ra < 64 && dst < 64 ->
+      let fb = Float.of_int ib in
+      fun _ctx w ->
+        let p = w.planes in
+        let ta = Bytes.unsafe_get p.tags ra in
+        (if ta = t_int then begin
+           Bytes.unsafe_set p.tags dst t_int;
+           p.ints.(dst) <- iop p.ints.(ra) ib
+         end
+         else if ta = t_float then begin
+           Bytes.unsafe_set p.tags dst t_float;
+           p.floats.(dst) <- fop p.floats.(ra) fb
+         end
+         else err "sim: bad ALU operands");
+        spend w b_compute sc;
+        w.pc <- w.pc + 1
+    | _ ->
+      let ka = kget a and kb = kget b in
+      let ia = iget a and ib = iget b in
+      let fa = fget a and fb = fget b in
+      fun _ctx w ->
+        let p = w.planes in
+        let ta = ka p and tb = kb p in
+        (if ta = t_int && tb = t_int then set_int p dst (iop (ia p) (ib p))
+         else if ta <= t_float && tb <= t_float then
+           set_float p dst (fop (fa p) (fb p))
+         else err "sim: bad ALU operands");
+        spend w b_compute sc;
+        w.pc <- w.pc + 1)
+  | Isa.Cmp { op; dst; a; b } -> (
     let pred_i : int -> int -> bool = fun x y -> Interp.cmp_pred op x y in
     let pred_f : float -> float -> bool = fun x y -> Interp.cmp_pred op x y in
-    let ka = kget a and kb = kget b in
-    let ia = iget a and ib = iget b in
-    let ca = cget a and cb = cget b in
-    fun _ctx w ->
-      let p = w.planes in
-      (if ka p = t_int && kb p = t_int then set_bool p dst (pred_i (ia p) (ib p))
-       else set_bool p dst (pred_f (ca p) (cb p)));
-      spend w b_compute sc;
-      w.pc <- w.pc + 1
-  | Isa.Mov { dst; src } ->
-    let put = put_of dst src in
-    fun _ctx w ->
-      put w.planes;
-      spend w b_compute sc;
-      w.pc <- w.pc + 1
+    match (a, b) with
+    | Isa.Reg ra, Isa.Reg rb when ra < 64 && rb < 64 && dst < 64 ->
+      fun _ctx w ->
+        let p = w.planes in
+        let ta = Bytes.unsafe_get p.tags ra
+        and tb = Bytes.unsafe_get p.tags rb in
+        let v =
+          if ta = t_int && tb = t_int then pred_i p.ints.(ra) p.ints.(rb)
+          else pred_f (cmp_coerce p ra ta) (cmp_coerce p rb tb)
+        in
+        Bytes.unsafe_set p.tags dst t_bool;
+        Bytes.unsafe_set p.bools dst (if v then '\001' else '\000');
+        spend w b_compute sc;
+        w.pc <- w.pc + 1
+    | Isa.Reg ra, Isa.Imm ib when ra < 64 && dst < 64 ->
+      let fb = Float.of_int ib in
+      fun _ctx w ->
+        let p = w.planes in
+        let ta = Bytes.unsafe_get p.tags ra in
+        let v =
+          if ta = t_int then pred_i p.ints.(ra) ib
+          else pred_f (cmp_coerce p ra ta) fb
+        in
+        Bytes.unsafe_set p.tags dst t_bool;
+        Bytes.unsafe_set p.bools dst (if v then '\001' else '\000');
+        spend w b_compute sc;
+        w.pc <- w.pc + 1
+    | _ ->
+      let ka = kget a and kb = kget b in
+      let ia = iget a and ib = iget b in
+      let ca = cget a and cb = cget b in
+      fun _ctx w ->
+        let p = w.planes in
+        (if ka p = t_int && kb p = t_int then
+           set_bool p dst (pred_i (ia p) (ib p))
+         else set_bool p dst (pred_f (ca p) (cb p)));
+        spend w b_compute sc;
+        w.pc <- w.pc + 1)
+  | Isa.Mov { dst; src } -> (
+    match src with
+    | Isa.Imm i ->
+      fun _ctx w ->
+        set_int w.planes dst i;
+        spend w b_compute sc;
+        w.pc <- w.pc + 1
+    | Isa.Fimm f ->
+      fun _ctx w ->
+        set_float w.planes dst f;
+        spend w b_compute sc;
+        w.pc <- w.pc + 1
+    | Isa.Reg r ->
+      fun _ctx w ->
+        copy_reg w.planes ~src:r ~dst;
+        spend w b_compute sc;
+        w.pc <- w.pc + 1)
   | Isa.Sel { dst; cond; a; b } ->
     let bc = bget cond in
     let put_a = put_of dst a and put_b = put_of dst b in
@@ -814,8 +981,8 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
     let bar_idx = iget full.Isa.index in
     let timing ctx w =
       spend w b_tma issue;
-      let start = Float.max ctx.tma_free w.time in
-      ctx.tma_free <- start +. busy;
+      let start = Float.max ctx.pipes.tma_free w.c.t in
+      ctx.pipes.tma_free <- start +. busy;
       ctx.stats.Sim.tma_busy <- ctx.stats.Sim.tma_busy +. busy;
       ctx.stats.Sim.tma_bytes <- ctx.stats.Sim.tma_bytes +. bytes;
       ctx.stats.Sim.tma_count <- ctx.stats.Sim.tma_count + 1;
@@ -857,8 +1024,8 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
     let latency = cfg.Config.tma_latency in
     let timing ctx w =
       spend w b_tma issue;
-      let start = Float.max ctx.tma_free w.time in
-      ctx.tma_free <- start +. busy;
+      let start = Float.max ctx.pipes.tma_free w.c.t in
+      ctx.pipes.tma_free <- start +. busy;
       ctx.stats.Sim.tma_busy <- ctx.stats.Sim.tma_busy +. busy;
       ctx.stats.Sim.tma_bytes <- ctx.stats.Sim.tma_bytes +. fbytes;
       let completion = start +. busy +. latency in
@@ -888,20 +1055,24 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
         w.pc <- w.pc + 1
   | Isa.Cp_wait_ring { ring; target } ->
     let itgt = iget target in
-    fun ctx w -> (
+    fun ctx w ->
+      (* [Mbarrier.try_wait] unrolled to avoid boxing the option. *)
       let tgt = itgt w.planes in
-      match Mbarrier.try_wait ctx.rings.(ring) ~target:tgt with
-      | Some t ->
-        let wait = Float.max w.time t -. w.time in
+      let rb = ctx.rings.(ring) in
+      if tgt <= 0 || Mbarrier.completions rb >= tgt then begin
+        let t = if tgt <= 0 then 0.0 else Mbarrier.completion_time rb tgt in
+        let wait = Float.max w.c.t t -. w.c.t in
         stalled w b_ring wait;
         ctx.ring_wait.(ring) <- ctx.ring_wait.(ring) +. Float.max 0.0 wait;
-        Mbarrier.note_consumed ctx.rings.(ring) ~target:tgt;
-        w.time <- Float.max w.time t;
+        Mbarrier.note_consumed rb ~target:tgt;
+        w.c.t <- Float.max w.c.t t;
         spend w b_ring sc;
         w.pc <- w.pc + 1
-      | None ->
+      end
+      else begin
         w.state <- Sim.Blocked (Sim.On_ring { ring; target = tgt });
-        ctx.ring_waiters.(ring) <- (tgt, w) :: ctx.ring_waiters.(ring))
+        ctx.ring_waiters.(ring) <- (tgt, w) :: ctx.ring_waiters.(ring)
+      end
   | Isa.Ldg { dst; desc; offs; rows; cols; dtype } ->
     let bytes = Float.of_int (Sim.bytes_of ~rows ~cols dtype) in
     let cost = cfg.Config.tma_latency +. (bytes /. cfg.Config.ldg_bytes_per_cycle) in
@@ -997,29 +1168,33 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
     let mc = cfg.Config.mbar_cycles in
     fun ctx w ->
       spend w b_mbar mc;
-      ignore (Mbarrier.arrive ctx.mbars.(base + idx w.planes) ~time:w.time);
+      ignore (Mbarrier.arrive ctx.mbars.(base + idx w.planes) ~time:w.c.t);
       w.pc <- w.pc + 1
   | Isa.Mbar_wait { bar; target } ->
     let base = bar.Isa.base in
     let idx = iget bar.Isa.index in
     let itgt = iget target in
     let mc = cfg.Config.mbar_cycles in
-    fun ctx w -> (
+    fun ctx w ->
+      (* [Mbarrier.try_wait] unrolled to avoid boxing the option. *)
       let p = w.planes in
       let b = base + idx p in
       let tgt = itgt p in
-      match Mbarrier.try_wait ctx.mbars.(b) ~target:tgt with
-      | Some t ->
-        let wait = Float.max w.time t -. w.time in
+      let mb = ctx.mbars.(b) in
+      if tgt <= 0 || Mbarrier.completions mb >= tgt then begin
+        let t = if tgt <= 0 then 0.0 else Mbarrier.completion_time mb tgt in
+        let wait = Float.max w.c.t t -. w.c.t in
         stalled w b_mbar wait;
         ctx.mbar_wait.(b) <- ctx.mbar_wait.(b) +. Float.max 0.0 wait;
-        Mbarrier.note_consumed ctx.mbars.(b) ~target:tgt;
-        w.time <- Float.max w.time t;
+        Mbarrier.note_consumed mb ~target:tgt;
+        w.c.t <- Float.max w.c.t t;
         spend w b_mbar mc;
         w.pc <- w.pc + 1
-      | None ->
+      end
+      else begin
         w.state <- Sim.Blocked (Sim.On_mbar { bar = b; target = tgt });
-        ctx.mbar_waiters.(b) <- (tgt, w) :: ctx.mbar_waiters.(b))
+        ctx.mbar_waiters.(b) <- (tgt, w) :: ctx.mbar_waiters.(b)
+      end
   | Isa.Wgmma { a; b; acc; m; n; k; dtype } ->
     let issue = cfg.Config.wgmma_issue_cycles in
     let flops = 2.0 *. Float.of_int m *. Float.of_int n *. Float.of_int k in
@@ -1028,14 +1203,14 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
     let timing ctx w =
       spend w b_tc issue;
       let pressure =
-        1.0 +. (pen1000 *. Float.of_int (max 0 (Queue.length w.wgmma_groups - 1)))
+        1.0 +. (pen1000 *. Float.of_int (max 0 (w.wgmma_groups.flen - 1)))
       in
       let dur = flops *. pressure /. denom in
-      let start = Float.max ctx.tc_free w.time in
-      ctx.tc_free <- start +. dur;
+      let start = Float.max ctx.pipes.tc_free w.c.t in
+      ctx.pipes.tc_free <- start +. dur;
       ctx.stats.Sim.tc_busy <- ctx.stats.Sim.tc_busy +. dur;
       ctx.stats.Sim.wgmma_count <- ctx.stats.Sim.wgmma_count + 1;
-      w.wgmma_open <- start +. dur
+      w.c.wopen <- start +. dur
     in
     if functional then begin
       let compile_src (s : Isa.wgmma_src) : ectx -> wg -> Tensor.t =
@@ -1078,18 +1253,18 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
         w.pc <- w.pc + 1
   | Isa.Wgmma_commit ->
     fun _ctx w ->
-      if w.wgmma_open >= 0.0 then begin
-        Queue.push w.wgmma_open w.wgmma_groups;
-        w.wgmma_open <- -1.0
+      if w.c.wopen >= 0.0 then begin
+        fring_push w.wgmma_groups w.c.wopen;
+        w.c.wopen <- -1.0
       end;
       spend w b_tc 1.0;
       w.pc <- w.pc + 1
   | Isa.Wgmma_wait n ->
     fun _ctx w ->
-      while Queue.length w.wgmma_groups > n do
-        let t = Queue.pop w.wgmma_groups in
-        stalled w b_tc (t -. w.time);
-        w.time <- Float.max w.time t
+      while w.wgmma_groups.flen > n do
+        let t = fring_pop w.wgmma_groups in
+        stalled w b_tc (t -. w.c.t);
+        w.c.t <- Float.max w.c.t t
       done;
       spend w b_tc 1.0;
       w.pc <- w.pc + 1
@@ -1132,20 +1307,624 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
     fun _ctx w ->
       spend w b_compute sc;
       w.pc <- target
-  | Isa.Brz { cond; target } ->
-    let bc = bget cond in
-    fun _ctx w ->
-      spend w b_compute sc;
-      if bc w.planes then w.pc <- w.pc + 1 else w.pc <- target
-  | Isa.Brnz { cond; target } ->
-    let bc = bget cond in
-    fun _ctx w ->
-      spend w b_compute sc;
-      if bc w.planes then w.pc <- target else w.pc <- w.pc + 1
+  | Isa.Brz { cond; target } -> (
+    match cond with
+    | Isa.Reg r when r < 64 ->
+      fun _ctx w ->
+        spend w b_compute sc;
+        if bool_at w.planes r then w.pc <- w.pc + 1 else w.pc <- target
+    | _ ->
+      let bc = bget cond in
+      fun _ctx w ->
+        spend w b_compute sc;
+        if bc w.planes then w.pc <- w.pc + 1 else w.pc <- target)
+  | Isa.Brnz { cond; target } -> (
+    match cond with
+    | Isa.Reg r when r < 64 ->
+      fun _ctx w ->
+        spend w b_compute sc;
+        if bool_at w.planes r then w.pc <- target else w.pc <- w.pc + 1
+    | _ ->
+      let bc = bget cond in
+      fun _ctx w ->
+        spend w b_compute sc;
+        if bc w.planes then w.pc <- target else w.pc <- w.pc + 1)
   | Isa.Exit ->
     fun ctx w ->
       w.state <- Sim.Finished;
       release_fences ctx
+
+(* ---------------- timing-mode stream optimization ----------------- *)
+
+(* In timing mode the decoded stream is specialized further, without
+   breaking bit-identity with the reference engine:
+
+   - {b Dead-write elision}: a register write whose value never
+     (transitively) feeds a branch condition, a barrier index, a wait
+     target, a store descriptor, or another live value cannot influence
+     cycles, stats, profiles, or error behavior. Its closure reduces to
+     its cost, and a straight-line run of such instructions collapses
+     into one "cost block" that replays the per-instruction [spend]s in
+     program order (float addition is not associative, so costs are
+     replayed, never pre-summed). Elision is gated on a forward
+     abstract interpretation of register tags proving the skipped
+     closure could not have raised (operand-kind errors, int division
+     by zero, pid-axis bounds): the reference engine's errors must
+     still surface at the same instruction with the same message.
+
+   - {b Superblock fusion}: instructions whose execution can neither
+     affect nor observe another warp group — no barrier arrivals or
+     waits, no shared-pipe contention unless this stream is the pipe's
+     only owner — may retire inside the scheduler slot of their
+     predecessor ([local] mask). The heap pop/push and option
+     allocation per instruction become one per run. Barrier arrivals
+     and waits stay slot-initial: executing an arrival early can flip
+     a consumer's wait from the blocked-wake path to the
+     satisfied-wait path, which charges [mbar_cycles] to busy time.
+
+   Anything unproven keeps its exact unoptimized closure, and streams
+   run unoptimized whenever the launch-time parameters do not conform
+   to the decode-time parameter-type assumptions ({!make_ctx}).
+   Functional mode never uses either lever: cross-WG data flow through
+   shared memory makes fusion observable there. *)
+
+let opts_enabled =
+  Atomic.make
+    (match Sys.getenv_opt "TAWA_TIMING_OPTS" with
+    | Some ("0" | "off" | "false") -> false
+    | _ -> true)
+
+(** Process-wide switch for the timing-mode decode optimizations
+    (dead-write elision, cost blocks, superblock fusion). The bench
+    harness disables it to measure the unoptimized decoded baseline;
+    [TAWA_TIMING_OPTS=0] disables it process-wide. Flipping it does not
+    invalidate cached decodes — the flag is part of the decode-cache
+    key ({!Engine.prepare}). *)
+let set_opts_enabled b = Atomic.set opts_enabled b
+
+let opts_on () = Atomic.get opts_enabled
+
+(* Abstract register tags for the decode-time type analysis. The
+   lattice tracks exactly the distinctions the timing closures' error
+   paths depend on: int-ness (ALU dispatch, div-by-zero), scalar-ness
+   (predicate/cmp coercions err on object tags), pointer-ness (Mkdesc
+   accepts a bound tensor or none), and descriptor dtype (Stg's cost
+   depends on it). *)
+type atag =
+  | Abot (* unreachable *)
+  | Aint
+  | Afloat
+  | Abool
+  | Ascalar (* int, float, or bool *)
+  | Aptr (* tensor or none: a ptr param or a timing-mode tile write *)
+  | Adesc of Dtype.t option (* descriptor, with static dtype if known *)
+  | Aany
+
+let ajoin a b =
+  if a = b then a
+  else
+    match (a, b) with
+    | Abot, x | x, Abot -> x
+    | (Aint | Afloat | Abool | Ascalar), (Aint | Afloat | Abool | Ascalar) ->
+      Ascalar
+    | Adesc _, Adesc _ -> Adesc None
+    | _ -> Aany
+
+(* Decode-time assumptions about launch parameters, derived from
+   [program.param_tys]. [make_ctx] re-checks the actual [Sim.rt]
+   values against these and falls back to the unoptimized stream when
+   a caller binds something else (the analysis would be unsound). *)
+type pkind = Kint | Kscalar | Kptr | Kany
+
+let pkind_of_ty (ty : Types.ty) =
+  match ty with
+  | Types.TScalar Dtype.I32 -> Kint
+  | Types.TScalar _ -> Kscalar
+  | Types.TPtr _ -> Kptr
+  | _ -> Kany
+
+let atag_of_pkind = function
+  | Kint -> Aint
+  | Kscalar -> Ascalar
+  | Kptr -> Aptr
+  | Kany -> Aany
+
+let rt_conforms kind (v : Sim.rt) =
+  match (kind, v) with
+  | Kany, _ -> true
+  | Kint, Sim.Rint _ -> true
+  | Kscalar, (Sim.Rint _ | Sim.Rfloat _ | Sim.Rbool _) -> true
+  | Kptr, (Sim.Rtensor _ | Sim.Rnone) -> true
+  | (Kint | Kscalar | Kptr), _ -> false
+
+let params_conform kinds params =
+  let ok = ref true in
+  List.iteri
+    (fun r v ->
+      if r < 64 && r < Array.length kinds && not (rt_conforms kinds.(r) v)
+      then ok := false)
+    params;
+  !ok
+
+(* Registers the TIMING closure of an instruction actually reads (the
+   functional-only reads — tile sources, slot indices, offsets — do
+   not exist in timing mode; see the closures above). *)
+let timing_uses (i : Isa.instr) f =
+  let o = function Isa.Reg r -> f r | Isa.Imm _ | Isa.Fimm _ -> () in
+  match i with
+  | Isa.Alu { a; b; _ } | Isa.Cmp { a; b; _ } ->
+    o a;
+    o b
+  | Isa.Mov { src; _ } -> o src
+  | Isa.Sel { cond; a; b; _ } ->
+    o cond;
+    o a;
+    o b
+  | Isa.Mkdesc { ptr; _ } -> o ptr
+  | Isa.Stg { desc; _ } -> o desc
+  | Isa.Tma_load { full; _ } -> o full.Isa.index
+  | Isa.Mbar_arrive { Isa.index; _ } -> o index
+  | Isa.Mbar_wait { bar; target } ->
+    o bar.Isa.index;
+    o target
+  | Isa.Cp_wait_ring { target; _ } -> o target
+  | Isa.Brz { cond; _ } | Isa.Brnz { cond; _ } -> o cond
+  | _ -> ()
+
+(* Register defined by the TIMING closure, if any. *)
+let timing_def (i : Isa.instr) =
+  match i with
+  | Isa.Alu { dst; _ }
+  | Isa.Cmp { dst; _ }
+  | Isa.Mov { dst; _ }
+  | Isa.Sel { dst; _ }
+  | Isa.Pid { dst; _ }
+  | Isa.Npid { dst; _ }
+  | Isa.Mkdesc { dst; _ }
+  | Isa.Tile_unop { dst; _ }
+  | Isa.Tile_binop { dst; _ }
+  | Isa.Tile_cmp { dst; _ }
+  | Isa.Tile_select { dst; _ }
+  | Isa.Tile_cast { dst; _ }
+  | Isa.Tile_splat { dst; _ }
+  | Isa.Tile_iota { dst; _ }
+  | Isa.Tile_bcast { dst; _ }
+  | Isa.Tile_reshape { dst; _ }
+  | Isa.Tile_reduce { dst; _ }
+  | Isa.Tile_trans { dst; _ }
+  | Isa.Ldg { dst; _ }
+  | Isa.Lds { dst; _ }
+  | Isa.Workq_pop { dst } -> Some dst
+  | _ -> None
+
+let atag_of_operand st (o : Isa.operand) =
+  match o with
+  | Isa.Imm _ -> Aint
+  | Isa.Fimm _ -> Afloat
+  | Isa.Reg r -> if r < Array.length st then st.(r) else Aint
+
+(* Abstract transfer of one instruction's TIMING closure. *)
+let timing_transfer st (i : Isa.instr) =
+  let setd d v = if d < Array.length st then st.(d) <- v in
+  match i with
+  | Isa.Alu { dst; a; b; _ } ->
+    let ta = atag_of_operand st a and tb = atag_of_operand st b in
+    setd dst
+      (match (ta, tb) with
+      | Aint, Aint -> Aint
+      | (Aint | Afloat), (Aint | Afloat) -> Afloat
+      | _ -> Ascalar)
+  | Isa.Cmp { dst; _ } -> setd dst Abool
+  | Isa.Mov { dst; src } -> setd dst (atag_of_operand st src)
+  | Isa.Sel { dst; a; b; _ } ->
+    setd dst (ajoin (atag_of_operand st a) (atag_of_operand st b))
+  | Isa.Pid { dst; _ } | Isa.Npid { dst; _ } | Isa.Workq_pop { dst } ->
+    setd dst Aint
+  | Isa.Mkdesc { dst; dtype; _ } -> setd dst (Adesc (Some dtype))
+  | Isa.Tile_unop { dst; _ }
+  | Isa.Tile_binop { dst; _ }
+  | Isa.Tile_cmp { dst; _ }
+  | Isa.Tile_select { dst; _ }
+  | Isa.Tile_cast { dst; _ }
+  | Isa.Tile_splat { dst; _ }
+  | Isa.Tile_iota { dst; _ }
+  | Isa.Tile_bcast { dst; _ }
+  | Isa.Tile_reshape { dst; _ }
+  | Isa.Tile_reduce { dst; _ }
+  | Isa.Tile_trans { dst; _ }
+  | Isa.Ldg { dst; _ }
+  | Isa.Lds { dst; _ } ->
+    (* Timing closures write [set_none] for tile results; [Aptr]
+       covers the none tag. *)
+    setd dst Aptr
+  | _ -> ()
+
+let scalar_ok = function
+  | Aint | Afloat | Abool | Ascalar | Abot -> true
+  | Aptr | Adesc _ | Aany -> false
+
+let num_ok = function Aint | Afloat | Abot -> true | _ -> false
+let ptr_arg_ok = function Aptr | Abot -> true | _ -> false
+
+(* CFG successors of [pc] (blocked instructions resume at pc+1). *)
+let succs_of (i : Isa.instr) pc =
+  match i with
+  | Isa.Bra { target } -> [ target ]
+  | Isa.Brz { target; _ } | Isa.Brnz { target; _ } -> [ pc + 1; target ]
+  | Isa.Exit -> []
+  | _ -> [ pc + 1 ]
+
+(* May the instruction retire inside an ongoing scheduler slot?
+   [tc_single]/[tma_single]: this program has at most one stream
+   touching the tensor-core / TMA pipe, so the shared [tc_free] /
+   [tma_free] horizon and the associated stats floats are updated in
+   this stream's program order regardless of slot boundaries. *)
+let is_local ~tc_single ~tma_single (i : Isa.instr) =
+  match i with
+  | Isa.Nop | Isa.Alu _ | Isa.Cmp _ | Isa.Mov _ | Isa.Sel _ | Isa.Pid _
+  | Isa.Npid _ | Isa.Mkdesc _ | Isa.Tile_unop _ | Isa.Tile_binop _
+  | Isa.Tile_cmp _ | Isa.Tile_select _ | Isa.Tile_cast _ | Isa.Tile_splat _
+  | Isa.Tile_iota _ | Isa.Tile_bcast _ | Isa.Tile_reshape _
+  | Isa.Tile_reduce _ | Isa.Tile_trans _ | Isa.Ldg _ | Isa.Lds _ | Isa.Sts _
+  | Isa.Stg _ | Isa.Wgmma_commit | Isa.Wgmma_wait _ | Isa.Workq_pop _
+  | Isa.Bra _ | Isa.Brz _ | Isa.Brnz _ ->
+    true
+  | Isa.Wgmma _ -> tc_single
+  | Isa.Cp_async { last; _ } -> (not last) && tma_single
+  | Isa.Tma_load _ | Isa.Cp_wait_ring _ | Isa.Mbar_arrive _ | Isa.Mbar_wait _
+  | Isa.Fence | Isa.Sync_reset | Isa.Exit ->
+    false
+
+(* Scratch context + warp group for probing the cost of closures that
+   read nothing (Nop, tile ops, Ldg/Lds/Sts in timing mode): run the
+   compiled closure once on a zeroed clock and read off the spend.
+   Reusing the closure itself guarantees the replayed cost is the
+   exact float the closure would have produced. *)
+let make_probe (cfg : Config.t) role : ectx * wg =
+  let w =
+    {
+      index = 0;
+      role;
+      code = [||];
+      lens = [||];
+      local = Bytes.empty;
+      pc = 0;
+      c = { t = 0.0; busy = 0.0; wopen = -1.0 };
+      planes = make_planes 8;
+      state = Sim.Running;
+      wgmma_groups = fring_create ();
+      pop_round = 0;
+      wg_pid = None;
+      instret = 0;
+      in_ready = false;
+      buckets = Array.make Tawa_obs.Stall.num 0.0;
+    }
+  in
+  let ctx =
+    {
+      cfg;
+      wgs = [||];
+      pid = [| 0; 0; 0 |];
+      num_programs = [| 1; 1; 1 |];
+      mbars = [||];
+      rings = [||];
+      smem = [||];
+      smem_base = [||];
+      smem_slots = [||];
+      smem_over = Hashtbl.create 1;
+      pipes = { tma_free = 0.0; tc_free = 0.0 };
+      fence_waiters = [];
+      popped = [||];
+      popped_len = 0;
+      pop_global = (fun () -> -1);
+      stats =
+        {
+          Sim.tc_busy = 0.0;
+          tma_busy = 0.0;
+          tma_bytes = 0.0;
+          wgmma_count = 0;
+          tma_count = 0;
+          steps = 0;
+        };
+      mbar_waiters = [||];
+      ring_waiters = [||];
+      ready = { heap = [||]; n = 0 };
+      mbar_wait = [||];
+      ring_wait = [||];
+      num_rings = 0;
+    }
+  in
+  (ctx, w)
+
+let probe_cost (ctx, w) (c : code) =
+  w.c.t <- 0.0;
+  w.c.busy <- 0.0;
+  w.pc <- 0;
+  Array.fill w.buckets 0 (Array.length w.buckets) 0.0;
+  c ctx w;
+  let b = ref b_compute in
+  Array.iteri (fun i v -> if v <> 0.0 then b := i) w.buckets;
+  (!b, w.c.t)
+
+(* Cost of an elidable instruction as (bucket, cycles), or None when
+   elision is unprovable (possible error, dynamic cost, side effect). *)
+let elide_info ~(cfg : Config.t) ~coop ~probe st (i : Isa.instr)
+    (c : code) : (int * float) option =
+  let sc = cfg.Config.scalar_cycles in
+  match i with
+  | Isa.Alu { op; a; b; _ } ->
+    let ta = atag_of_operand st a and tb = atag_of_operand st b in
+    let div_ok =
+      match op with
+      | Op.Div | Op.Rem -> (
+        (* The int path divides; by-zero is unreachable only when the
+           divisor is a non-zero immediate or the float path is proven
+           (either operand definitely float). *)
+        match b with
+        | Isa.Imm k -> k <> 0
+        | Isa.Fimm _ -> true
+        | Isa.Reg _ -> ta = Afloat || tb = Afloat)
+      | _ -> true
+    in
+    if num_ok ta && num_ok tb && div_ok then Some (b_compute, sc) else None
+  | Isa.Cmp { a; b; _ } ->
+    if scalar_ok (atag_of_operand st a) && scalar_ok (atag_of_operand st b)
+    then Some (b_compute, sc)
+    else None
+  | Isa.Mov _ -> Some (b_compute, sc)
+  | Isa.Sel { cond; _ } ->
+    if scalar_ok (atag_of_operand st cond) then Some (b_compute, sc) else None
+  | Isa.Pid { axis; _ } | Isa.Npid { axis; _ } ->
+    if axis >= 0 && axis < 3 then Some (b_compute, sc) else None
+  | Isa.Mkdesc { ptr; _ } ->
+    if ptr_arg_ok (atag_of_operand st ptr) then Some (b_compute, 20.0)
+    else None
+  | Isa.Nop | Isa.Tile_unop _ | Isa.Tile_binop _ | Isa.Tile_cmp _
+  | Isa.Tile_select _ | Isa.Tile_cast _ | Isa.Tile_splat _ | Isa.Tile_iota _
+  | Isa.Tile_bcast _ | Isa.Tile_reshape _ | Isa.Tile_reduce _
+  | Isa.Tile_trans _ | Isa.Ldg _ | Isa.Lds _ | Isa.Sts _ ->
+    Some (probe c)
+  | Isa.Stg { desc; rows; cols; _ } -> (
+    match atag_of_operand st desc with
+    | Adesc (Some dt) ->
+      (* Same float expression shape as the compiled closure. *)
+      let bytes = Float.of_int (Sim.bytes_of ~rows ~cols dt) in
+      Some
+        ( b_tma,
+          bytes /. cfg.Config.stg_bytes_per_cycle /. Float.of_int coop
+          +. cfg.Config.stg_latency )
+    | _ -> None)
+  | _ -> None
+
+(* Optimize one stream: returns (units, lens, local mask). *)
+let optimize_stream ~(cfg : Config.t) ~coop ~role ~param_atags ~tc_single
+    ~tma_single (instrs : Isa.instr array) (codes : code array) :
+    code array * int array * Bytes.t =
+  let n = Array.length instrs in
+  let nregs = ref 64 in
+  (* the reg universe: everything mentioned, plus the 64 param slots *)
+  let seen r = nregs := max !nregs (r + 1) in
+  Array.iter
+    (fun i ->
+      (match timing_def i with Some d -> seen d | None -> ());
+      timing_uses i seen)
+    instrs;
+  let nregs = !nregs in
+  (* ---- forward abstract interpretation of register tags ---- *)
+  let ain = Array.init n (fun _ -> Array.make nregs Abot) in
+  let reach = Array.make n false in
+  if n > 0 then begin
+    let entry = ain.(0) in
+    Array.fill entry 0 nregs Aint;
+    Array.iteri (fun r k -> if r < 64 && r < nregs then entry.(r) <- k) param_atags;
+    reach.(0) <- true
+  end;
+  let tmp = Array.make nregs Abot in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for pc = 0 to n - 1 do
+      if reach.(pc) then begin
+        Array.blit ain.(pc) 0 tmp 0 nregs;
+        timing_transfer tmp instrs.(pc);
+        List.iter
+          (fun s ->
+            if s >= 0 && s < n then
+              if not reach.(s) then begin
+                reach.(s) <- true;
+                Array.blit tmp 0 ain.(s) 0 nregs;
+                changed := true
+              end
+              else
+                let st = ain.(s) in
+                for r = 0 to nregs - 1 do
+                  let j = ajoin st.(r) tmp.(r) in
+                  if j <> st.(r) then begin
+                    st.(r) <- j;
+                    changed := true
+                  end
+                done)
+          (succs_of instrs.(pc) pc)
+      end
+    done
+  done;
+  (* ---- provably-safe static costs (liveness-independent) ---- *)
+  let probe_state = make_probe cfg role in
+  let probe = probe_cost probe_state in
+  let einfo =
+    Array.init n (fun pc ->
+        elide_info ~cfg ~coop ~probe ain.(pc) instrs.(pc) codes.(pc))
+  in
+  (* ---- backward liveness / elision fixpoint ---- *)
+  let live_in = Array.init n (fun _ -> Bytes.make nregs '\000') in
+  let elide = Array.make n false in
+  let lout = Bytes.make nregs '\000' in
+  let lchanged = ref true in
+  while !lchanged do
+    lchanged := false;
+    for pc = n - 1 downto 0 do
+      Bytes.fill lout 0 nregs '\000';
+      List.iter
+        (fun s ->
+          if s >= 0 && s < n then
+            let src = live_in.(s) in
+            for r = 0 to nregs - 1 do
+              if Bytes.get src r <> '\000' then Bytes.set lout r '\001'
+            done)
+        (succs_of instrs.(pc) pc);
+      let e =
+        einfo.(pc) <> None
+        &&
+        match timing_def instrs.(pc) with
+        | Some d -> d >= nregs || Bytes.get lout d = '\000'
+        | None -> true
+      in
+      elide.(pc) <- e;
+      if not e then begin
+        (match timing_def instrs.(pc) with
+        | Some d when d < nregs -> Bytes.set lout d '\000'
+        | _ -> ());
+        timing_uses instrs.(pc) (fun r ->
+            if r < nregs then Bytes.set lout r '\001')
+      end;
+      if Bytes.compare lout live_in.(pc) <> 0 then begin
+        Bytes.blit lout 0 live_in.(pc) 0 nregs;
+        lchanged := true
+      end
+    done
+  done;
+  (* Workq_pop has a queue side effect; never elide it even when its
+     destination is dead (the pop order feeds wg_pid and the shared
+     memoized round table). [elide_info] already returns None for it,
+     as for every instruction with shared-state effects. *)
+  (* ---- units: collapse elided runs into cost blocks ---- *)
+  let btarget = Array.make (max 1 n) false in
+  Array.iter
+    (fun i ->
+      match i with
+      | Isa.Bra { target } | Isa.Brz { target; _ } | Isa.Brnz { target; _ } ->
+        if target >= 0 && target < n then btarget.(target) <- true
+      | _ -> ())
+    instrs;
+  let units = Array.copy codes in
+  let lens = Array.make n 1 in
+  let local = Bytes.make n '\000' in
+  for pc = 0 to n - 1 do
+    if elide.(pc) || is_local ~tc_single ~tma_single instrs.(pc) then
+      Bytes.set local pc '\001'
+  done;
+  let pc = ref 0 in
+  while !pc < n do
+    if elide.(!pc) then begin
+      let e = ref (!pc + 1) in
+      while !e < n && elide.(!e) && not btarget.(!e) do
+        incr e
+      done;
+      let len = !e - !pc in
+      let pc_end = !e in
+      (if len = 1 then begin
+         match einfo.(!pc) with
+         | Some (b, c) -> units.(!pc) <- (fun _ctx w -> spend w b c; w.pc <- pc_end)
+         | None -> assert false
+       end
+       else begin
+         let bks = Array.make len 0 and cs = Array.make len 0.0 in
+         for i = 0 to len - 1 do
+           match einfo.(!pc + i) with
+           | Some (b, c) ->
+             bks.(i) <- b;
+             cs.(i) <- c
+           | None -> assert false
+         done;
+         units.(!pc) <-
+           (fun _ctx w ->
+             for i = 0 to len - 1 do
+               spend w (Array.unsafe_get bks i) (Array.unsafe_get cs i)
+             done;
+             w.pc <- pc_end)
+       end);
+      lens.(!pc) <- len;
+      pc := !e
+    end
+    else incr pc
+  done;
+  (* ---- superblocks: chain straight-line runs of local units ----
+     A popped WG already retires consecutive local units without
+     re-entering the ready heap; chaining composes such a run into ONE
+     unit so the scheduler's per-unit bookkeeping (length lookup,
+     budget check, stats, dispatch) is paid once per run. Member
+     closures each advance [w.pc] themselves and execute back-to-back
+     in program order, so the composition is observationally identical
+     — except the step budget, which is charged for the whole chain up
+     front (the same crossing-point argument as cost blocks: a budget
+     that expires mid-chain reports exhaustion at the same retired
+     count, and an error mid-chain discards the outcome anyway).
+
+     A chain extends unit-by-unit along the static fall-through edge
+     [pc + lens.(pc)] while the successor is local and not a branch
+     target (branch targets must keep their own entry point; nothing
+     else can jump into a chain's interior — the only way in is the
+     layout predecessor, which is in the chain). Branches are local
+     but set [pc] dynamically, so they terminate the chain that
+     absorbs them — which is exactly what makes hot loop bodies
+     (compute + back-edge) single-unit. Local units never block,
+     finish, or self-enqueue, so state checks stay at chain end. *)
+  let falls_through pc =
+    match instrs.(pc) with
+    | Isa.Bra _ | Isa.Brz _ | Isa.Brnz _ -> false
+    | _ -> true
+  in
+  let hpc = ref 0 in
+  while !hpc < n do
+    let h = !hpc in
+    let cur = ref h in
+    if Bytes.get local h <> '\000' then begin
+      let members = ref [ h ] and count = ref 1 in
+      let fin = ref false in
+      while not !fin do
+        if not (falls_through !cur) then fin := true
+        else begin
+          let nx = !cur + lens.(!cur) in
+          if nx < n && Bytes.get local nx <> '\000' && not btarget.(nx) then begin
+            members := nx :: !members;
+            incr count;
+            cur := nx
+          end
+          else fin := true
+        end
+      done;
+      if !count >= 2 then begin
+        let mems = Array.of_list (List.rev !members) in
+        let total = Array.fold_left (fun a m -> a + lens.(m)) 0 mems in
+        let cs = Array.map (fun m -> units.(m)) mems in
+        (units.(h) <-
+           (match cs with
+           | [| c0; c1 |] ->
+             fun ctx w ->
+               c0 ctx w;
+               c1 ctx w
+           | [| c0; c1; c2 |] ->
+             fun ctx w ->
+               c0 ctx w;
+               c1 ctx w;
+               c2 ctx w
+           | [| c0; c1; c2; c3 |] ->
+             fun ctx w ->
+               c0 ctx w;
+               c1 ctx w;
+               c2 ctx w;
+               c3 ctx w
+           | _ ->
+             fun ctx w ->
+               for i = 0 to Array.length cs - 1 do
+                 (Array.unsafe_get cs i) ctx w
+               done));
+        lens.(h) <- total
+      end
+    end;
+    hpc := !cur + (if !cur = h then lens.(h) else lens.(!cur))
+  done;
+  (units, lens, local)
 
 (* --------------------------- decoding ----------------------------- *)
 
@@ -1153,6 +1932,17 @@ type t = {
   d_cfg : Config.t;
   d_program : Isa.program;
   d_codes : code array array; (* per stream, per pc *)
+  d_units : code array array;
+      (* timing-optimized streams (cost blocks, elided writes); aliases
+         [d_codes] when optimization is off *)
+  d_lens : int array array; (* instructions retired per unit *)
+  d_local : Bytes.t array; (* slot-fusable mask per unit *)
+  d_ones : int array array; (* unoptimized unit metadata, for fallback *)
+  d_zeros : Bytes.t array;
+  d_opt : bool; (* were the streams optimized at decode time? *)
+  d_pkinds : pkind array;
+      (* parameter-kind assumptions the optimization proved safety
+         against; launches that do not conform run [d_codes] *)
   d_roles : Op.wg_role array;
   d_coops : int array;
   d_smem_base : int array; (* per alloc id *)
@@ -1190,6 +1980,49 @@ let decode ~(cfg : Config.t) (program : Isa.program) : t =
              s.Isa.instrs)
          program.Isa.streams)
   in
+  let streams = Array.of_list program.Isa.streams in
+  let instrs = Array.map (fun (s : Isa.stream) -> s.Isa.instrs) streams in
+  let ones = Array.map (fun is -> Array.make (Array.length is) 1) instrs in
+  let zeros =
+    Array.map (fun is -> Bytes.make (max 1 (Array.length is)) '\000') instrs
+  in
+  let pkinds =
+    Array.of_list (List.map pkind_of_ty program.Isa.param_tys)
+  in
+  let opt = (not (Config.is_functional cfg)) && opts_on () in
+  let units, lens, local =
+    if not opt then (codes, ones, zeros)
+    else begin
+      (* Pipe ownership: with at most one stream touching a shared
+         pipe, its horizon/stats updates stay in that stream's program
+         order under fusion. *)
+      let count pred =
+        Array.fold_left
+          (fun n is -> if Array.exists pred is then n + 1 else n)
+          0 instrs
+      in
+      let tc_single = count (function Isa.Wgmma _ -> true | _ -> false) <= 1 in
+      let tma_single =
+        count (function Isa.Tma_load _ | Isa.Cp_async _ -> true | _ -> false)
+        <= 1
+      in
+      let param_atags = Array.map atag_of_pkind pkinds in
+      let units = Array.make (Array.length streams) [||] in
+      let lens = Array.make (Array.length streams) [||] in
+      let local = Array.make (Array.length streams) Bytes.empty in
+      Array.iteri
+        (fun i (s : Isa.stream) ->
+          let u, l, loc =
+            optimize_stream ~cfg ~coop:s.Isa.coop ~role:s.Isa.role
+              ~param_atags ~tc_single ~tma_single instrs.(i) codes.(i)
+          in
+          units.(i) <- u;
+          lens.(i) <- l;
+          local.(i) <- loc)
+        streams;
+      (units, lens, local)
+    end
+  in
   let max_alloc =
     List.fold_left (fun m (a : Isa.alloc) -> max m a.Isa.alloc_id) (-1)
       program.Isa.allocs
@@ -1208,6 +2041,13 @@ let decode ~(cfg : Config.t) (program : Isa.program) : t =
     d_cfg = cfg;
     d_program = program;
     d_codes = codes;
+    d_units = units;
+    d_lens = lens;
+    d_local = local;
+    d_ones = ones;
+    d_zeros = zeros;
+    d_opt = opt;
+    d_pkinds = pkinds;
     d_roles =
       Array.of_list (List.map (fun (s : Isa.stream) -> s.Isa.role) program.Isa.streams);
     d_coops =
@@ -1226,6 +2066,16 @@ let make_ctx (d : t) ~(params : Sim.rt list) ~(num_programs : int array)
   if List.length params <> List.length program.Isa.param_tys then
     err "sim: parameter arity mismatch (%d vs %d)" (List.length params)
       (List.length program.Isa.param_tys);
+  (* The timing optimization proved error-freedom against the
+     parameter kinds implied by [param_tys] and 3-vector pid/grid
+     arrays; a launch that binds anything else falls back to the
+     unoptimized stream (bit-identical, just slower). *)
+  let use_opt =
+    d.d_opt
+    && Array.length num_programs >= 3
+    && Array.length pid >= 3
+    && params_conform d.d_pkinds params
+  in
   let wgs =
     Array.mapi
       (fun i codes ->
@@ -1236,16 +2086,16 @@ let make_ctx (d : t) ~(params : Sim.rt list) ~(num_programs : int array)
         {
           index = i;
           role = d.d_roles.(i);
-          code = codes;
+          code = (if use_opt then d.d_units.(i) else codes);
+          lens = (if use_opt then d.d_lens.(i) else d.d_ones.(i));
+          local = (if use_opt then d.d_local.(i) else d.d_zeros.(i));
           pc = 0;
-          time = 0.0;
+          c = { t = 0.0; busy = 0.0; wopen = -1.0 };
           planes;
           state = Sim.Running;
-          wgmma_open = -1.0;
-          wgmma_groups = Queue.create ();
+          wgmma_groups = fring_create ();
           pop_round = 0;
           wg_pid = None;
-          busy = 0.0;
           instret = 0;
           in_ready = false;
           buckets = Array.make Tawa_obs.Stall.num 0.0;
@@ -1268,8 +2118,7 @@ let make_ctx (d : t) ~(params : Sim.rt list) ~(num_programs : int array)
       smem_base = d.d_smem_base;
       smem_slots = d.d_smem_slots;
       smem_over = Hashtbl.create 8;
-      tma_free = 0.0;
-      tc_free = 0.0;
+      pipes = { tma_free = 0.0; tc_free = 0.0 };
       fence_waiters = [];
       popped = Array.make 16 (-2);
       popped_len = 0;
@@ -1303,12 +2152,12 @@ let make_ctx (d : t) ~(params : Sim.rt list) ~(num_programs : int array)
 let profile_of_ctx ~wall (ctx : ectx) : Sim.profile =
   let wg_prof (w : wg) =
     let b = Array.copy w.buckets in
-    b.(Tawa_obs.Stall.idle) <- Float.max 0.0 (wall -. w.time);
+    b.(Tawa_obs.Stall.idle) <- Float.max 0.0 (wall -. w.c.t);
     {
       Sim.p_index = w.index;
       p_role = Op.role_to_string w.role;
-      p_time = w.time;
-      p_busy = w.busy;
+      p_time = w.c.t;
+      p_busy = w.c.busy;
       p_instret = w.instret;
       p_buckets = b;
     }

@@ -35,28 +35,58 @@ let err fmt = Format.kasprintf (fun s -> raise (Sim.Sim_error s)) fmt
    satisfying arrival lands (the unblock time depends only on the
    recorded completion time and the waiter's frozen clock, so eager
    wake-up is bit-identical), and the min-scan is a binary heap pop:
-   O(log #WGs) per retired instruction instead of O(#WGs). *)
+   O(log #WGs) per retired instruction instead of O(#WGs).
+
+   A popped WG owns its scheduler slot for as long as its upcoming
+   unit is [local] (timing mode: provably free of cross-WG
+   interaction, see {!Decode.optimize_stream}): such units retire
+   without re-entering the heap. [w.lens.(pc)] is the number of source
+   instructions the unit retires — 1, except for collapsed cost
+   blocks. The budget is still charged per source instruction, and the
+   check stays ahead of execution, so "sim: step budget exhausted"
+   fires at the same retired count as the reference. The [in_ready]
+   guard covers self-releasing units (a Fence arriving last wakes its
+   own WG): once re-enqueued, the WG must not also keep running. *)
 let run_decoded ?(max_steps = 50_000_000) (ctx : Decode.ectx) : Sim.outcome =
   let wgs = ctx.Decode.wgs in
   Array.iter (fun w -> Decode.ready_push ctx w) wgs;
   let alive = ref (Array.length wgs) in
   let steps = ref 0 in
+  let stats = ctx.Decode.stats in
   while !alive > 0 do
-    incr steps;
-    if !steps > max_steps then err "sim: step budget exhausted";
-    match Decode.ready_pop ctx with
-    | Some w ->
-      ctx.Decode.stats.Sim.steps <- ctx.Decode.stats.Sim.steps + 1;
-      w.Decode.instret <- w.Decode.instret + 1;
-      w.Decode.code.(w.Decode.pc) ctx w;
+    if !steps >= max_steps then err "sim: step budget exhausted";
+    if ctx.Decode.ready.Decode.n > 0 then begin
+      let w = Decode.ready_pop_exn ctx in
+      let code = w.Decode.code
+      and lens = w.Decode.lens
+      and local = w.Decode.local in
+      let lim = Bytes.length local in
+      let continue = ref true in
+      while !continue do
+        let pc = w.Decode.pc in
+        let len = lens.(pc) in
+        steps := !steps + len;
+        if !steps > max_steps then err "sim: step budget exhausted";
+        stats.Sim.steps <- stats.Sim.steps + len;
+        w.Decode.instret <- w.Decode.instret + len;
+        code.(pc) ctx w;
+        match w.Decode.state with
+        | Sim.Running
+          when (not w.Decode.in_ready)
+               && w.Decode.pc < lim
+               && Bytes.get local w.Decode.pc <> '\000' ->
+          ()
+        | _ -> continue := false
+      done;
       (* Only the executing WG can finish; blocked WGs re-enter the
          heap via the wake hooks (possibly already, if this very
          instruction released them). *)
-      (match w.Decode.state with
+      match w.Decode.state with
       | Sim.Running -> Decode.ready_push ctx w
       | Sim.Finished -> decr alive
-      | Sim.Blocked _ -> ())
-    | None ->
+      | Sim.Blocked _ -> ()
+    end
+    else
       let blocked =
         Array.to_list wgs
         |> List.filter (fun w -> w.Decode.state <> Sim.Finished)
@@ -77,7 +107,7 @@ let run_decoded ?(max_steps = 50_000_000) (ctx : Decode.ectx) : Sim.outcome =
       err "sim: deadlock: %s" (String.concat "; " blocked)
   done;
   let cycles =
-    Array.fold_left (fun acc w -> Float.max acc w.Decode.time) 0.0 wgs
+    Array.fold_left (fun acc w -> Float.max acc w.Decode.c.Decode.t) 0.0 wgs
   in
   {
     Sim.cycles;
@@ -146,10 +176,21 @@ let decode_cache_stats () = Progcache.stats decode_cache
 (* Cost-model fields change the compiled closures (costs are folded at
    decode time), so the whole config is part of the key — except the
    fields that don't affect decoding: trace collection and the engine
-   choice itself. *)
+   choice itself. The execution mode is keyed separately (readably) so
+   functional and timing decodes of the same program never alias; the
+   timing-optimization flag joins it because flipping it mid-process
+   (bench baseline passes) must not serve stale streams. *)
 let cfg_digest (cfg : Config.t) =
-  let norm = { cfg with Config.collect_trace = false; engine = None } in
+  let norm =
+    { cfg with Config.collect_trace = false; engine = None; mode = Config.Timing }
+  in
   Digest.to_hex (Digest.string (Marshal.to_string norm []))
+
+let cache_key (cfg : Config.t) program =
+  Progcache.program_fingerprint program
+  ^ "|" ^ cfg_digest cfg
+  ^ "|" ^ Config.mode_to_string cfg.Config.mode
+  ^ if (not (Config.is_functional cfg)) && Decode.opts_on () then "+opt" else ""
 
 (* ------------------------------ API ------------------------------- *)
 
@@ -170,9 +211,7 @@ let prepare ~(cfg : Config.t) (program : Isa.program) : prepared =
   match resolve cfg with
   | Config.Reference -> Pref (cfg, program)
   | Config.Decoded ->
-    let key =
-      Progcache.program_fingerprint program ^ "|" ^ cfg_digest cfg
-    in
+    let key = cache_key cfg program in
     Pdec
       (Progcache.find_or_add decode_cache ~key (fun () ->
            Decode.decode ~cfg program))

@@ -13,7 +13,9 @@ type t = {
   arrive_count : int;                     (* arrivals per phase completion *)
   mutable pending : int;                  (* arrivals in the current phase *)
   mutable pending_time : float;           (* latest arrival time this phase *)
-  mutable completions : float list;       (* completion times, reverse order *)
+  mutable completions : float array;      (* completion times, in order; only
+                                             the first [num_completions] cells
+                                             are meaningful *)
   mutable num_completions : int;
   mutable notify : (t -> unit) option;
       (* invoked after each phase completion; the event-driven engine
@@ -34,7 +36,8 @@ type t = {
 
 let create ~arrive_count =
   if arrive_count <= 0 then invalid_arg "Mbarrier.create";
-  { arrive_count; pending = 0; pending_time = 0.0; completions = []; num_completions = 0;
+  { arrive_count; pending = 0; pending_time = 0.0;
+    completions = Array.make 8 0.0; num_completions = 0;
     notify = None;
     arrivals_total = 0; completions_total = 0; max_pending = 0; consumed = 0;
     max_inflight = 0 }
@@ -44,7 +47,6 @@ let set_notify b f = b.notify <- Some f
 let reset b =
   b.pending <- 0;
   b.pending_time <- 0.0;
-  b.completions <- [];
   b.num_completions <- 0;
   (* Wait targets restart with the phase numbering; cumulative telemetry
      (arrivals/completions/high-waters) survives. *)
@@ -61,7 +63,12 @@ let arrive b ~time =
     b.pending <- 0;
     let t = b.pending_time in
     b.pending_time <- 0.0;
-    b.completions <- t :: b.completions;
+    (if b.num_completions >= Array.length b.completions then begin
+       let bigger = Array.make (2 * Array.length b.completions) 0.0 in
+       Array.blit b.completions 0 bigger 0 b.num_completions;
+       b.completions <- bigger
+     end);
+    b.completions.(b.num_completions) <- t;
     b.num_completions <- b.num_completions + 1;
     b.completions_total <- b.completions_total + 1;
     (* In-flight depth: phases produced but not yet consumed by a
@@ -95,12 +102,9 @@ let parity_after n = n land 1
     [n <= completions b]. *)
 let completion_time b n =
   if n <= 0 then 0.0
-  else begin
-    let idx = b.num_completions - n in
-    (* completions is in reverse order: head is the latest. *)
-    if idx < 0 then invalid_arg "Mbarrier.completion_time: not completed";
-    List.nth b.completions idx
-  end
+  else if n > b.num_completions then
+    invalid_arg "Mbarrier.completion_time: not completed"
+  else b.completions.(n - 1)
 
 (** Can a waiter demanding [target] completions proceed, and if so, at
     what time? *)

@@ -302,7 +302,7 @@ let release_fences cta =
    without advancing (pc unchanged). *)
 let step cta wg =
   let cfg = cta.cfg in
-  let functional = cfg.Config.functional in
+  let functional = Config.is_functional cfg in
   let i = wg.stream.Isa.instrs.(wg.pc) in
   let coop = wg.stream.Isa.coop in
   cta.stats.steps <- cta.stats.steps + 1;

@@ -149,35 +149,58 @@ let reduce_tensor kind axis (t : Tensor.t) =
     | Red_sum -> (0.0, ( +. ))
   in
   let out = Tensor.create ~dtype:(Tensor.dtype t) out_shape in
-  (* Initialize, then fold over the input. *)
-  for i = 0 to Tensor.numel out - 1 do
-    Tensor.set_flat out i init
-  done;
-  let out_idx = Array.make (n - 1) 0 in
-  Tensor.iteri
-    (fun idx v ->
-      let j = ref 0 in
-      for i = 0 to n - 1 do
-        if i <> axis then begin
-          out_idx.(!j) <- idx.(i);
-          incr j
-        end
-      done;
-      Tensor.set out out_idx (f (Tensor.get out out_idx) v))
-    t;
+  if axis = n - 1 then begin
+    (* Innermost axis: each output element folds one contiguous span.
+       [reduce_slice] requantizes the accumulator through the dtype at
+       every step, exactly as folding through the stored output cell
+       below does, so both paths are bit-identical. *)
+    let klen = shape.(axis) in
+    let init = Tensor.quantize (Tensor.dtype t) init in
+    for g = 0 to Tensor.numel out - 1 do
+      Tensor.set_flat out g
+        (Tensor.reduce_slice f ~init t ~off:(g * klen) ~len:klen)
+    done
+  end
+  else begin
+    (* Initialize, then fold over the input. *)
+    for i = 0 to Tensor.numel out - 1 do
+      Tensor.set_flat out i init
+    done;
+    let out_idx = Array.make (n - 1) 0 in
+    Tensor.iteri
+      (fun idx v ->
+        let j = ref 0 in
+        for i = 0 to n - 1 do
+          if i <> axis then begin
+            out_idx.(!j) <- idx.(i);
+            incr j
+          end
+        done;
+        Tensor.set out out_idx (f (Tensor.get out out_idx) v))
+      t
+  end;
   out
 
+(* k-outer row-axpy MMA: seed an f32 accumulator row from [acc], fold
+   B's contiguous rows in with bulk [Tensor.axpy_raw], and quantize
+   once on store. Per output element the add sequence (p ascending)
+   and the single final quantize are identical to the i-j-p loop, so
+   the result is bit-identical; the inner loop is contiguous. *)
 let dot_tiles (a : Tensor.t) (b : Tensor.t) (acc : Tensor.t) =
   let m = Tensor.dim a 0 and k = Tensor.dim a 1 and n = Tensor.dim b 1 in
   let out = Tensor.copy acc in
+  let sa = a.Tensor.strides.(0)
+  and sb = b.Tensor.strides.(0)
+  and so = out.Tensor.strides.(0) in
+  let buf = Array.make n 0.0 in
   for i = 0 to m - 1 do
-    for j = 0 to n - 1 do
-      let s = ref (Tensor.get2 acc i j) in
-      for p = 0 to k - 1 do
-        s := !s +. (Tensor.get2 a i p *. Tensor.get2 b p j)
-      done;
-      Tensor.set2 out i j !s
-    done
+    Array.blit acc.Tensor.data (i * so) buf 0 n;
+    for p = 0 to k - 1 do
+      Tensor.axpy_raw
+        ~alpha:a.Tensor.data.((i * sa) + p)
+        b.Tensor.data ~soff:(p * sb) buf ~doff:0 ~len:n
+    done;
+    Tensor.store_slice ~dst:out ~doff:(i * so) buf ~soff:0 ~len:n
   done;
   out
 

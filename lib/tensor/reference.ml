@@ -13,14 +13,23 @@ let gemm ?(out_dtype = Dtype.F16) a b =
   let k' = Tensor.dim b 0 and n = Tensor.dim b 1 in
   if k <> k' then invalid_arg "Reference.gemm: inner dim mismatch";
   let c = Tensor.create ~dtype:out_dtype [| m; n |] in
+  (* k-outer row-axpy form: for each output row, fold A's row scalars
+     against B's contiguous rows into an f32 accumulator row and
+     quantize once at the end. Per output element this performs the
+     identical add sequence (p ascending) and single final quantize as
+     the textbook i-j-p loop, so results are bit-identical — but the
+     inner loop is a bulk contiguous [Tensor.axpy_raw]. *)
+  let sa = a.Tensor.strides.(0) and sb = b.Tensor.strides.(0) in
+  let buf = Array.make n 0.0 in
   for i = 0 to m - 1 do
-    for j = 0 to n - 1 do
-      let acc = ref 0.0 in
-      for p = 0 to k - 1 do
-        acc := !acc +. (Tensor.get2 a i p *. Tensor.get2 b p j)
-      done;
-      Tensor.set2 c i j !acc
-    done
+    Array.fill buf 0 n 0.0;
+    for p = 0 to k - 1 do
+      Tensor.axpy_raw
+        ~alpha:a.Tensor.data.((i * sa) + p)
+        b.Tensor.data ~soff:(p * sb) buf ~doff:0 ~len:n
+    done;
+    Tensor.store_slice ~dst:c ~doff:(i * c.Tensor.strides.(0)) buf ~soff:0
+      ~len:n
   done;
   c
 

@@ -97,6 +97,154 @@ let copy t =
   { t with shape = Array.copy t.shape; strides = Array.copy t.strides;
            data = Array.copy t.data }
 
+(* ------------------ bulk contiguous-slice kernels ------------------
+   Hot tile ops (MMA accumulation, TMA copies, reductions) operate on
+   contiguous row spans. These kernels validate the span bounds once
+   and then run dtype-specialized element loops with the [quantize]
+   dispatch hoisted out, exactly value-equivalent to per-element
+   [get_flat]/[set_flat] loops (the QCheck suite pins this). *)
+
+let check_span name src_len soff dst_len doff len =
+  if
+    len < 0 || soff < 0 || doff < 0 || soff + len > src_len
+    || doff + len > dst_len
+  then
+    invalid_arg
+      (Printf.sprintf "%s: span out of bounds (soff=%d doff=%d len=%d)" name
+         soff doff len)
+
+(** [axpy_raw ~alpha src ~soff dst ~doff ~len] accumulates
+    [dst.(doff+i) <- dst.(doff+i) +. alpha *. src.(soff+i)] over a
+    contiguous span of raw float arrays — unquantized f32 accumulation,
+    the WGMMA-accumulator inner loop. *)
+let axpy_raw ~alpha (src : float array) ~soff (dst : float array) ~doff ~len =
+  check_span "Tensor.axpy_raw" (Array.length src) soff (Array.length dst) doff
+    len;
+  for i = 0 to len - 1 do
+    Array.unsafe_set dst (doff + i)
+      (Array.unsafe_get dst (doff + i)
+      +. (alpha *. Array.unsafe_get src (soff + i)))
+  done
+
+(** [store_slice ~dst ~doff src ~soff ~len] writes a raw float span
+    into [dst]'s payload, quantizing through [dst]'s dtype ([set_flat]
+    semantics with the dispatch hoisted; F32 is one [Array.blit]). *)
+let store_slice ~(dst : t) ~doff (src : float array) ~soff ~len =
+  check_span "Tensor.store_slice" (Array.length src) soff
+    (Array.length dst.data) doff len;
+  let d = dst.data in
+  match dst.dtype with
+  | Dtype.F32 -> Array.blit src soff d doff len
+  | Dtype.F16 ->
+    for i = 0 to len - 1 do
+      Array.unsafe_set d (doff + i) (Fp16.round (Array.unsafe_get src (soff + i)))
+    done
+  | Dtype.F8E4M3 ->
+    for i = 0 to len - 1 do
+      Array.unsafe_set d (doff + i) (Fp8.round (Array.unsafe_get src (soff + i)))
+    done
+  | Dtype.I32 ->
+    for i = 0 to len - 1 do
+      Array.unsafe_set d (doff + i)
+        (Float.of_int (int_of_float (Array.unsafe_get src (soff + i))))
+    done
+  | Dtype.I1 ->
+    for i = 0 to len - 1 do
+      Array.unsafe_set d (doff + i)
+        (if Array.unsafe_get src (soff + i) <> 0.0 then 1.0 else 0.0)
+    done
+
+(** Copy a span between tensor payloads, requantizing through [dst]'s
+    dtype. Same dtype is the identity (payloads are invariantly
+    quantized), so that path is one [Array.blit]. *)
+let blit_slice ~(src : t) ~soff ~(dst : t) ~doff ~len =
+  if src.dtype = dst.dtype then begin
+    check_span "Tensor.blit_slice" (Array.length src.data) soff
+      (Array.length dst.data) doff len;
+    Array.blit src.data soff dst.data doff len
+  end
+  else store_slice ~dst ~doff src.data ~soff ~len
+
+(** Quantizing span accumulate:
+    [dst.(doff+i) <- quantize (dst.(doff+i) +. alpha *. src.(soff+i))]
+    through [dst]'s dtype. *)
+let axpy_slice ~alpha ~(src : t) ~soff ~(dst : t) ~doff ~len =
+  check_span "Tensor.axpy_slice" (Array.length src.data) soff
+    (Array.length dst.data) doff len;
+  let s = src.data and d = dst.data in
+  match dst.dtype with
+  | Dtype.F32 ->
+    for i = 0 to len - 1 do
+      Array.unsafe_set d (doff + i)
+        (Array.unsafe_get d (doff + i)
+        +. (alpha *. Array.unsafe_get s (soff + i)))
+    done
+  | Dtype.F16 ->
+    for i = 0 to len - 1 do
+      Array.unsafe_set d (doff + i)
+        (Fp16.round
+           (Array.unsafe_get d (doff + i)
+           +. (alpha *. Array.unsafe_get s (soff + i))))
+    done
+  | Dtype.F8E4M3 ->
+    for i = 0 to len - 1 do
+      Array.unsafe_set d (doff + i)
+        (Fp8.round
+           (Array.unsafe_get d (doff + i)
+           +. (alpha *. Array.unsafe_get s (soff + i))))
+    done
+  | Dtype.I32 ->
+    for i = 0 to len - 1 do
+      Array.unsafe_set d (doff + i)
+        (Float.of_int
+           (int_of_float
+              (Array.unsafe_get d (doff + i)
+              +. (alpha *. Array.unsafe_get s (soff + i)))))
+    done
+  | Dtype.I1 ->
+    for i = 0 to len - 1 do
+      Array.unsafe_set d (doff + i)
+        (if
+           Array.unsafe_get d (doff + i)
+           +. (alpha *. Array.unsafe_get s (soff + i))
+           <> 0.0
+         then 1.0
+         else 0.0)
+    done
+
+(** Sequential fold over a contiguous span with the accumulator
+    requantized through [t]'s dtype after every step — the semantics of
+    folding through a tensor cell with [get]/[set], dispatch hoisted.
+    [init] must already be quantized at [t]'s dtype (as a stored
+    initial cell would be). *)
+let reduce_slice f ~init (t : t) ~off ~len =
+  check_span "Tensor.reduce_slice" (Array.length t.data) off
+    (Array.length t.data) off len;
+  let d = t.data in
+  let acc = ref init in
+  (match t.dtype with
+  | Dtype.F32 ->
+    for i = off to off + len - 1 do
+      acc := f !acc (Array.unsafe_get d i)
+    done
+  | Dtype.F16 ->
+    for i = off to off + len - 1 do
+      acc := Fp16.round (f !acc (Array.unsafe_get d i))
+    done
+  | Dtype.F8E4M3 ->
+    for i = off to off + len - 1 do
+      acc := Fp8.round (f !acc (Array.unsafe_get d i))
+    done
+  | Dtype.I32 ->
+    for i = off to off + len - 1 do
+      acc := Float.of_int (int_of_float (f !acc (Array.unsafe_get d i)))
+    done
+  | Dtype.I1 ->
+    for i = off to off + len - 1 do
+      acc := if f !acc (Array.unsafe_get d i) <> 0.0 then 1.0 else 0.0
+    done);
+  !acc
+
 let cast dtype t =
   if dtype = t.dtype then
     (* Payload already quantized at [dtype]: a raw copy is identical. *)
@@ -104,9 +252,7 @@ let cast dtype t =
              data = Array.copy t.data }
   else begin
     let out = create ~dtype t.shape in
-    for i = 0 to numel t - 1 do
-      out.data.(i) <- quantize dtype t.data.(i)
-    done;
+    store_slice ~dst:out ~doff:0 t.data ~soff:0 ~len:(numel t);
     out
   end
 

@@ -355,6 +355,132 @@ let test_flop_counts () =
   let fc = Reference.attention_flops ~causal:true ~batch:2 ~heads:4 ~len:128 ~head_dim:64 () in
   Alcotest.(check (float 1.0)) "causal halves" (f /. 2.0) fc
 
+(* ------------------------------------------------------------------ *)
+(* Bulk contiguous-slice kernels vs scalar get_flat/set_flat loops     *)
+(* ------------------------------------------------------------------ *)
+
+(* The vectorized span kernels (blit/axpy/store/reduce over contiguous
+   payload slices) must be bit-identical to the per-element accessor
+   loops they replaced, across dtypes and at deliberately non-aligned
+   offsets. Spans live inside 1-D tensors of length 40 with offsets up
+   to 9 and lengths up to 24, so every case exercises interior,
+   unaligned windows. *)
+
+let slice_dt = function 0 -> Dtype.F32 | 1 -> Dtype.F16 | _ -> Dtype.F8E4M3
+
+(* ((src dtype, dst dtype), ((len, (soff, doff)), seed)) *)
+let slice_args =
+  QCheck.(
+    pair
+      (pair (int_range 0 2) (int_range 0 2))
+      (pair (pair (int_range 0 24) (pair (int_range 0 9) (int_range 0 9))) small_int))
+
+let slice_tensors ~sdt ~ddt ~seed =
+  let src = Tensor.random ~dtype:sdt ~seed:(seed + 1) ~lo:(-4.0) ~hi:4.0 [| 40 |] in
+  let dst = Tensor.random ~dtype:ddt ~seed:(seed + 7777) ~lo:(-4.0) ~hi:4.0 [| 40 |] in
+  (src, dst)
+
+let prop_blit_slice_matches_scalar =
+  QCheck.Test.make ~name:"blit_slice = scalar set_flat loop" ~count:400 slice_args
+    (fun ((si, di), ((len, (soff, doff)), seed)) ->
+      let src, dst = slice_tensors ~sdt:(slice_dt si) ~ddt:(slice_dt di) ~seed in
+      let expect = Tensor.cast (Tensor.dtype dst) dst in
+      for i = 0 to len - 1 do
+        Tensor.set_flat expect (doff + i) (Tensor.get_flat src (soff + i))
+      done;
+      Tensor.blit_slice ~src ~soff ~dst ~doff ~len;
+      Tensor.equal dst expect)
+
+let prop_axpy_slice_matches_scalar =
+  QCheck.Test.make ~name:"axpy_slice = scalar set_flat loop" ~count:400
+    QCheck.(pair slice_args (float_range (-2.0) 2.0))
+    (fun (((si, di), ((len, (soff, doff)), seed)), alpha) ->
+      let src, dst = slice_tensors ~sdt:(slice_dt si) ~ddt:(slice_dt di) ~seed in
+      let expect = Tensor.cast (Tensor.dtype dst) dst in
+      for i = 0 to len - 1 do
+        Tensor.set_flat expect (doff + i)
+          (Tensor.get_flat expect (doff + i)
+          +. (alpha *. Tensor.get_flat src (soff + i)))
+      done;
+      Tensor.axpy_slice ~alpha ~src ~soff ~dst ~doff ~len;
+      Tensor.equal dst expect)
+
+let prop_axpy_raw_matches_scalar =
+  QCheck.Test.make ~name:"axpy_raw = scalar float loop" ~count:400
+    QCheck.(pair slice_args (float_range (-2.0) 2.0))
+    (fun (((_, _), ((len, (soff, doff)), seed)), alpha) ->
+      let src, dst = slice_tensors ~sdt:Dtype.F32 ~ddt:Dtype.F32 ~seed in
+      let expect = Array.copy dst.Tensor.data in
+      for i = 0 to len - 1 do
+        expect.(doff + i) <-
+          expect.(doff + i) +. (alpha *. src.Tensor.data.(soff + i))
+      done;
+      Tensor.axpy_raw ~alpha src.Tensor.data ~soff dst.Tensor.data ~doff ~len;
+      dst.Tensor.data = expect)
+
+let prop_store_slice_matches_scalar =
+  QCheck.Test.make ~name:"store_slice = quantizing set_flat loop" ~count:400
+    slice_args
+    (fun ((_, di), ((len, (soff, doff)), seed)) ->
+      (* Raw (unquantized) f32 source span into a quantizing payload. *)
+      let raw = Tensor.random ~dtype:Dtype.F32 ~seed:(seed + 3) ~lo:(-4.0) ~hi:4.0 [| 40 |] in
+      let _, dst = slice_tensors ~sdt:Dtype.F32 ~ddt:(slice_dt di) ~seed in
+      let expect = Tensor.cast (Tensor.dtype dst) dst in
+      for i = 0 to len - 1 do
+        Tensor.set_flat expect (doff + i) raw.Tensor.data.(soff + i)
+      done;
+      Tensor.store_slice ~dst ~doff raw.Tensor.data ~soff ~len;
+      Tensor.equal dst expect)
+
+let prop_reduce_slice_matches_scalar =
+  QCheck.Test.make ~name:"reduce_slice = quantizing fold (sum, max)" ~count:400
+    slice_args
+    (fun ((si, _), ((len, (soff, _)), seed)) ->
+      let dt = slice_dt si in
+      let t, _ = slice_tensors ~sdt:dt ~ddt:dt ~seed in
+      List.for_all
+        (fun f ->
+          let init = Tensor.quantize dt 0.0 in
+          let expect = ref init in
+          for i = 0 to len - 1 do
+            expect := Tensor.quantize dt (f !expect (Tensor.get_flat t (soff + i)))
+          done;
+          Tensor.reduce_slice f ~init t ~off:soff ~len = !expect)
+        [ ( +. ); Float.max ])
+
+let prop_cast_matches_scalar =
+  QCheck.Test.make ~name:"cast = per-element quantize" ~count:200
+    QCheck.(pair (pair (int_range 0 2) (int_range 0 2)) small_int)
+    (fun ((si, di), seed) ->
+      let t = Tensor.random ~dtype:(slice_dt si) ~seed:(seed + 5) ~lo:(-4.0) ~hi:4.0 [| 7; 5 |] in
+      let out = Tensor.cast (slice_dt di) t in
+      let expect = Tensor.create ~dtype:(slice_dt di) [| 7; 5 |] in
+      for i = 0 to Tensor.numel t - 1 do
+        Tensor.set_flat expect i (Tensor.get_flat t i)
+      done;
+      Tensor.equal out expect)
+
+let prop_gemm_bit_identical_to_textbook =
+  (* Reference.gemm's k-outer row-axpy form performs, per output
+     element, the identical p-ascending add sequence and single final
+     quantize as the textbook i-j-p loop — bit-for-bit. *)
+  QCheck.Test.make ~name:"gemm k-outer = textbook i-j-p, bit-identical" ~count:60
+    QCheck.(pair (pair (int_range 1 9) (pair (int_range 1 9) (int_range 1 9))) small_int)
+    (fun ((m, (n, k)), seed) ->
+      let a = Tensor.random ~dtype:Dtype.F16 ~seed:(seed + 11) [| m; k |] in
+      let b = Tensor.random ~dtype:Dtype.F16 ~seed:(seed + 13) [| k; n |] in
+      let expect = Tensor.create ~dtype:Dtype.F16 [| m; n |] in
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          let acc = ref 0.0 in
+          for p = 0 to k - 1 do
+            acc := !acc +. (Tensor.get2 a i p *. Tensor.get2 b p j)
+          done;
+          Tensor.set2 expect i j !acc
+        done
+      done;
+      Tensor.equal (Reference.gemm a b) expect)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let suites =
@@ -408,4 +534,9 @@ let suites =
         Alcotest.test_case "flop counts" `Quick test_flop_counts;
       ] );
     qsuite "tensor.reference.props" [ prop_gemm_linear ];
+    qsuite "tensor.slices.props"
+      [ prop_blit_slice_matches_scalar; prop_axpy_slice_matches_scalar;
+        prop_axpy_raw_matches_scalar; prop_store_slice_matches_scalar;
+        prop_reduce_slice_matches_scalar; prop_cast_matches_scalar;
+        prop_gemm_bit_identical_to_textbook ];
   ]

@@ -769,6 +769,51 @@ let run_modes name =
         ("units_simulated", Json.Int simulated);
         ("units_replicated", Json.Int replicated) ]
 
+(* ---------------------- static occupancy -------------------------- *)
+
+(* Statcheck's static occupancy verdict for one representative kernel
+   per figure family, recorded alongside the measured results so the
+   trajectory ties the static model to what actually ran. Compiles are
+   served by the flow cache, so this costs microseconds. *)
+let occupancy_json (name, compiled) =
+  let r =
+    Tawa_analysis.Statcheck.occupancy_report compiled.Flow.transformed
+  in
+  let verdict =
+    match r.Tawa_analysis.Statcheck.verdict with
+    | Tawa_machine.Resources.Feasible _ -> Json.Obj [ ("feasible", Json.Bool true) ]
+    | Tawa_machine.Resources.Infeasible why ->
+      Json.Obj [ ("feasible", Json.Bool false); ("reason", Json.Str why) ]
+  in
+  ( name,
+    Json.Obj
+      [ ("kernel", Json.Str r.Tawa_analysis.Statcheck.kernel_name);
+        ("verdict", verdict);
+        ("ctas_per_sm", Json.Int r.Tawa_analysis.Statcheck.ctas_per_sm);
+        ("limiting", Json.Str r.Tawa_analysis.Statcheck.limiting);
+        ("smem_bytes", Json.Int r.Tawa_analysis.Statcheck.smem_bytes);
+        ("total_regs", Json.Int r.Tawa_analysis.Statcheck.total_regs) ] )
+
+let static_occupancy () =
+  let opts ?(d = 2) ?(p = 2) ?(coop = 1) ?(persistent = false) () =
+    { Flow.aref_depth = d; mma_depth = p; num_consumer_wgs = coop; persistent;
+      use_coarse = false }
+  in
+  let tiles = Frameworks.tiles_128x128 in
+  Json.Obj
+    (List.map occupancy_json
+       [ ("gemm", Flow.compile ~options:(opts ~d:3 ()) (Kernels.gemm ~tiles ()));
+         ( "batched_gemm",
+           Flow.compile ~options:(opts ~d:3 ()) (Kernels.batched_gemm ~tiles ()) );
+         ( "attention",
+           Flow.compile ~options:(opts ())
+             (Kernels.attention ~block_m:128 ~block_n:128 ~head_dim:128 ()) );
+         ( "persistent_gemm",
+           Flow.compile ~options:(opts ~d:3 ~persistent:true ())
+             (Kernels.gemm ~tiles ()) );
+         ( "coop_gemm",
+           Flow.compile ~options:(opts ~coop:2 ()) (Kernels.gemm ~tiles ()) ) ])
+
 (* ------------------------------------------------------------------ *)
 
 let all_figures =
@@ -925,6 +970,7 @@ let () =
                        ("data", r.r_data) ])
                  results) );
           ("functional_verification", verify);
+          ("static_occupancy", static_occupancy ());
           ( "compile_cache",
             Json.Obj
               [ ("hits", Json.Int cache_stats.Tawa_machine.Progcache.hits);

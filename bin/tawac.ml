@@ -58,7 +58,7 @@ let do_compile path kernel_name d p coop persistent coarse sw naive dump_ir dump
           (Tawa_machine.Isa.smem_bytes c.Flow.program)
           c.Flow.program.Tawa_machine.Isa.num_mbarriers;
         if check then begin
-          let ds = Flow.check_compiled c in
+          let ds = Tawa_analysis.Diagnostic.sort (Flow.check_compiled c) in
           List.iter (fun d -> print_endline (Tawa_analysis.Diagnostic.to_string d)) ds;
           if Tawa_analysis.Diagnostic.errors ds <> [] then check_failed := true
         end;
@@ -95,7 +95,7 @@ let do_check path kernel_name d p coop persistent coarse =
     List.iter
       (fun k ->
         let c = Flow.compile ~options k in
-        let ds = Flow.check_compiled c in
+        let ds = Tawa_analysis.Diagnostic.sort (Flow.check_compiled c) in
         List.iter (fun d -> print_endline (Tawa_analysis.Diagnostic.to_string d)) ds;
         if Tawa_analysis.Diagnostic.errors ds <> [] then failed := true
         else
@@ -110,6 +110,180 @@ let do_check path kernel_name d p coop persistent coarse =
     1
   | Lexer.Lex_error (msg, pos) ->
     Printf.eprintf "%s:%d:%d: lexical error: %s\n" path pos.Ast.line pos.Ast.col msg;
+    1
+  | Verifier.Ill_formed msg ->
+    Printf.eprintf "tawac: IR verification failed: %s\n" msg;
+    1
+
+(* ------------------------------ lint ------------------------------- *)
+
+let diag_to_json (d : Tawa_analysis.Diagnostic.t) =
+  let open Tawa_obs.Json in
+  Obj
+    [ ("check", Str d.Tawa_analysis.Diagnostic.check);
+      ( "severity",
+        Str
+          (Tawa_analysis.Diagnostic.severity_to_string
+             d.Tawa_analysis.Diagnostic.severity) );
+      ( "op_id",
+        match d.Tawa_analysis.Diagnostic.op with
+        | Some o -> Int o.Op.oid
+        | None -> Null );
+      ("message", Str d.Tawa_analysis.Diagnostic.message) ]
+
+let do_lint path kernel_name d p coop persistent coarse obs =
+  try
+    let options = options_of ~d ~p ~coop ~persistent ~coarse in
+    let kernels = read_kernels path kernel_name in
+    if kernels = [] then begin
+      Printf.eprintf "tawac: no kernels found\n";
+      exit 1
+    end;
+    let failed = ref false in
+    let results =
+      List.map
+        (fun k ->
+          let c = Flow.compile ~options k in
+          let ds = Tawa_analysis.Statcheck.check_kernel c.Flow.transformed in
+          if Tawa_analysis.Diagnostic.errors ds <> [] then failed := true;
+          (k.Kernel.name, ds))
+        kernels
+    in
+    (match obs with
+    | `Json ->
+      print_endline
+        (Tawa_obs.Json.to_string
+           (Tawa_obs.Json.List
+              (List.map
+                 (fun (name, ds) ->
+                   Tawa_obs.Json.Obj
+                     [ ("kernel", Tawa_obs.Json.Str name);
+                       ("diagnostics", Tawa_obs.Json.List (List.map diag_to_json ds)) ])
+                 results)))
+    | `Table ->
+      List.iter
+        (fun (name, ds) ->
+          match ds with
+          | [] -> Printf.printf "kernel @%s: statcheck clean\n" name
+          | ds ->
+            Printf.printf "kernel @%s: %d statcheck finding(s)\n" name (List.length ds);
+            List.iter
+              (fun d -> print_endline (Tawa_analysis.Diagnostic.to_string d))
+              ds)
+        results);
+    if !failed then 1 else 0
+  with
+  | Elaborate.Elab_error (msg, pos) | Parser.Parse_error (msg, pos) ->
+    Printf.eprintf "%s:%d:%d: error: %s\n" path pos.Ast.line pos.Ast.col msg;
+    1
+  | Verifier.Ill_formed msg ->
+    Printf.eprintf "tawac: IR verification failed: %s\n" msg;
+    1
+
+(* --------------------------- occupancy ----------------------------- *)
+
+let verdict_to_json (v : Tawa_machine.Resources.verdict) =
+  let open Tawa_obs.Json in
+  match v with
+  | Tawa_machine.Resources.Feasible _ -> Obj [ ("feasible", Bool true) ]
+  | Tawa_machine.Resources.Infeasible why ->
+    Obj [ ("feasible", Bool false); ("reason", Str why) ]
+
+let occupancy_to_json (r : Tawa_analysis.Statcheck.report) =
+  let open Tawa_obs.Json in
+  let open Tawa_analysis.Statcheck in
+  Obj
+    [ ("kernel", Str r.kernel_name);
+      ( "warp_groups",
+        List
+          (List.map
+             (fun pu ->
+               Obj
+                 [ ("index", Int pu.pu_index);
+                   ("role", Str (Op.role_to_string pu.pu_role));
+                   ("coop", Int pu.pu_coop);
+                   ("tensor_bytes", Int pu.pu_tensor_bytes);
+                   ("max_live_bytes", Int pu.pu_max_live_bytes);
+                   ("regs_per_thread", Int pu.pu_regs_per_thread) ])
+             r.parts) );
+      ( "smem",
+        Obj
+          [ ("total_bytes", Int r.smem_bytes);
+            ( "items",
+              List
+                (List.map
+                   (fun (it : Tawa_analysis.Footprint.smem_item) ->
+                     Obj
+                       [ ("label", Str it.Tawa_analysis.Footprint.label);
+                         ("bytes", Int it.Tawa_analysis.Footprint.item_bytes);
+                         ("copies", Int it.Tawa_analysis.Footprint.copies) ])
+                   r.smem_items) ) ] );
+      ("total_regs", Int r.total_regs);
+      ("verdict", verdict_to_json r.verdict);
+      ("ctas_per_sm", Int r.ctas_per_sm);
+      ("limiting", Str r.limiting);
+      ("smem_headroom", Int r.smem_headroom);
+      ("reg_headroom", Int r.reg_headroom) ]
+
+let do_occupancy path kernel_name d p coop persistent coarse obs =
+  try
+    let options = options_of ~d ~p ~coop ~persistent ~coarse in
+    let kernels = read_kernels path kernel_name in
+    if kernels = [] then begin
+      Printf.eprintf "tawac: no kernels found\n";
+      exit 1
+    end;
+    let infeasible = ref false in
+    let reports =
+      List.map
+        (fun k ->
+          let c = Flow.compile ~options k in
+          let r = Tawa_analysis.Statcheck.occupancy_report c.Flow.transformed in
+          (match r.Tawa_analysis.Statcheck.verdict with
+          | Tawa_machine.Resources.Infeasible _ -> infeasible := true
+          | Tawa_machine.Resources.Feasible _ -> ());
+          r)
+        kernels
+    in
+    (match obs with
+    | `Json ->
+      print_endline
+        (Tawa_obs.Json.to_string
+           (Tawa_obs.Json.List (List.map occupancy_to_json reports)))
+    | `Table ->
+      List.iter
+        (fun (r : Tawa_analysis.Statcheck.report) ->
+          let open Tawa_analysis.Statcheck in
+          Printf.printf "kernel @%s: static occupancy\n" r.kernel_name;
+          List.iter
+            (fun pu ->
+              Printf.printf
+                "  wg%d %-9s coop=%d  tensor %6d B  max-live %6d B  %3d regs/thread\n"
+                pu.pu_index
+                (Op.role_to_string pu.pu_role)
+                pu.pu_coop pu.pu_tensor_bytes pu.pu_max_live_bytes
+                pu.pu_regs_per_thread)
+            r.parts;
+          List.iter
+            (fun (it : Tawa_analysis.Footprint.smem_item) ->
+              Printf.printf "  smem %-28s %6d B x%d\n"
+                it.Tawa_analysis.Footprint.label it.Tawa_analysis.Footprint.item_bytes
+                it.Tawa_analysis.Footprint.copies)
+            r.smem_items;
+          Printf.printf "  total: %d B SMEM, %d registers\n" r.smem_bytes r.total_regs;
+          (match r.verdict with
+          | Tawa_machine.Resources.Feasible _ ->
+            Printf.printf
+              "  verdict: feasible, %d CTA(s)/SM (limited by %s; headroom %d B SMEM, \
+               %d regs)\n"
+              r.ctas_per_sm r.limiting r.smem_headroom r.reg_headroom
+          | Tawa_machine.Resources.Infeasible why ->
+            Printf.printf "  verdict: INFEASIBLE: %s\n" why))
+        reports);
+    if !infeasible then 1 else 0
+  with
+  | Elaborate.Elab_error (msg, pos) | Parser.Parse_error (msg, pos) ->
+    Printf.eprintf "%s:%d:%d: error: %s\n" path pos.Ast.line pos.Ast.col msg;
     1
   | Verifier.Ill_formed msg ->
     Printf.eprintf "tawac: IR verification failed: %s\n" msg;
@@ -493,6 +667,26 @@ let check_cmd =
       const do_check $ file_arg $ kernel_arg $ d_arg $ p_arg $ coop_arg $ persistent_arg
       $ coarse_arg)
 
+let lint_cmd =
+  let doc =
+    "run the statcheck performance linter (dead stores, uninitialized reads, unused \
+     channels, waits without producers, over-deep MMA pipelines, infeasible occupancy)"
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      const do_lint $ file_arg $ kernel_arg $ d_arg $ p_arg $ coop_arg $ persistent_arg
+      $ coarse_arg $ obs_arg)
+
+let occupancy_cmd =
+  let doc =
+    "report the static register/SMEM occupancy model: per-warp-group footprint, SMEM \
+     allocations, CTAs/SM and the limiting resource"
+  in
+  Cmd.v (Cmd.info "occupancy" ~doc)
+    Term.(
+      const do_occupancy $ file_arg $ kernel_arg $ d_arg $ p_arg $ coop_arg
+      $ persistent_arg $ coarse_arg $ obs_arg)
+
 let run_cmd =
   let doc = "compile and execute kernels on the simulated H100" in
   Cmd.v (Cmd.info "run" ~doc)
@@ -519,4 +713,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "tawac" ~doc ~version:"1.0.0")
-          [ compile_cmd; check_cmd; run_cmd; profile_cmd ]))
+          [ compile_cmd; check_cmd; lint_cmd; occupancy_cmd; run_cmd; profile_cmd ]))

@@ -1,0 +1,340 @@
+(** A reusable forward/backward dataflow framework over the Tawa IR.
+
+    Two layers:
+
+    - {b Abstract solver} ({!Solver}): a worklist fixpoint engine
+      parameterized by a {!LATTICE} and a transfer function, running
+      over plain integer-node graphs. IR-free, so property tests can
+      exercise it on random CFGs without building kernels.
+    - {b IR CFG} ({!Cfg}): flattens a structured kernel (single-block
+      regions, [For]/[If]/[Warp_group]) into such a graph. Every
+      structured op gets a {e head} node (evaluates operands, binds the
+      body block's parameters) and a {e tail} node (binds the op's
+      results), with edges modelling all executions: loop back-edges,
+      zero-trip bypass, both branches, and every warp-group partition.
+
+    On top of the CFG the classic analyses are provided: {!Liveness}
+    (backward, sets of live value ids), {!Reaching} (forward, sets of
+    defining node ids — SSA form means there are no kills), and
+    {!use_def} chains derived from the definition table. *)
+
+open Tawa_ir
+
+module Int_set = Set.Make (Int)
+
+(* ------------------------- abstract solver ------------------------ *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+end
+
+type direction = Forward | Backward
+
+(** A plain graph for the solver: [succs.(n)] lists the control-flow
+    successors of node [n]. Nodes are [0 .. Array.length succs - 1]. *)
+type graph = { succs : int array array }
+
+let preds_of (g : graph) : int array array =
+  let n = Array.length g.succs in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun u sucs -> Array.iter (fun v -> preds.(v) <- u :: preds.(v)) sucs)
+    g.succs;
+  Array.map (fun l -> Array.of_list (List.rev l)) preds
+
+module Solver (L : LATTICE) = struct
+  type result = {
+    input : L.t array;  (** fact at node entry (w.r.t. [direction]) *)
+    output : L.t array;  (** fact at node exit (w.r.t. [direction]) *)
+  }
+
+  (** Iterate [output n = transfer n (join of neighbour outputs)] to a
+      fixpoint. For [Forward] the joined neighbours are predecessors;
+      for [Backward], successors. Monotone transfer functions over a
+      finite-height lattice terminate; the worklist revisits a node
+      only when one of its inputs changed. *)
+  let solve ~(direction : direction) ~(graph : graph)
+      ~(transfer : int -> L.t -> L.t) () : result =
+    let n = Array.length graph.succs in
+    let preds = preds_of graph in
+    let into, out_of =
+      match direction with
+      | Forward -> (preds, graph.succs)
+      | Backward -> (graph.succs, preds)
+    in
+    let input = Array.make n L.bottom in
+    let output = Array.make n L.bottom in
+    let in_wl = Array.make n true in
+    let wl = Queue.create () in
+    for i = 0 to n - 1 do
+      Queue.add i wl
+    done;
+    while not (Queue.is_empty wl) do
+      let u = Queue.pop wl in
+      in_wl.(u) <- false;
+      let inp =
+        Array.fold_left (fun acc p -> L.join acc output.(p)) L.bottom into.(u)
+      in
+      input.(u) <- inp;
+      let out = transfer u inp in
+      if not (L.equal out output.(u)) then begin
+        output.(u) <- out;
+        Array.iter
+          (fun v ->
+            if not in_wl.(v) then begin
+              in_wl.(v) <- true;
+              Queue.add v wl
+            end)
+          out_of.(u)
+      end
+    done;
+    { input; output }
+
+  (** Naive O(n^2)-rounds reference: recompute every node each round
+      until nothing changes. Used by the property suite as an oracle
+      for {!solve}. *)
+  let solve_naive ~(direction : direction) ~(graph : graph)
+      ~(transfer : int -> L.t -> L.t) () : result =
+    let n = Array.length graph.succs in
+    let preds = preds_of graph in
+    let into =
+      match direction with Forward -> preds | Backward -> graph.succs
+    in
+    let input = Array.make n L.bottom in
+    let output = Array.make n L.bottom in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for u = 0 to n - 1 do
+        let inp =
+          Array.fold_left (fun acc p -> L.join acc output.(p)) L.bottom into.(u)
+        in
+        input.(u) <- inp;
+        let out = transfer u inp in
+        if not (L.equal out output.(u)) then begin
+          output.(u) <- out;
+          changed := true
+        end
+      done
+    done;
+    { input; output }
+end
+
+(** The workhorse lattice: finite sets of ints (value ids or node
+    ids), bottom = empty, join = union. *)
+module Set_lattice = struct
+  type t = Int_set.t
+
+  let bottom = Int_set.empty
+  let join = Int_set.union
+  let equal = Int_set.equal
+end
+
+module Set_solver = Solver (Set_lattice)
+
+(* ----------------------------- IR CFG ----------------------------- *)
+
+module Cfg = struct
+  type node_kind =
+    | Entry  (** virtual kernel entry; defines the kernel parameters *)
+    | Plain of Op.op  (** a region-free op *)
+    | Head of Op.op  (** structured op: operands read, block params bound *)
+    | Tail of Op.op  (** structured op: results bound *)
+
+  type node = {
+    id : int;
+    kind : node_kind;
+    defs : Value.t list;
+    uses : Value.t list;
+    partition : int;  (** warp-group partition index; -1 = outside *)
+    mutable succs : int list;  (** reverse-accumulated during build *)
+  }
+
+  type t = {
+    kernel : Kernel.t;
+    nodes : node array;
+    graph : graph;
+    def_node : int Value.Tbl.t;  (** value -> node that defines it *)
+  }
+
+  let node_op n =
+    match n.kind with Entry -> None | Plain o | Head o | Tail o -> Some o
+
+  (** Stable oid for sorting/diagnostics: 0 for the entry node. *)
+  let node_oid n = match node_op n with None -> 0 | Some o -> o.Op.oid
+
+  let build (k : Kernel.t) : t =
+    let nodes = ref [] in
+    let count = ref 0 in
+    let mk_node ?(defs = []) ?(uses = []) ~partition kind =
+      let n = { id = !count; kind; defs; uses; partition; succs = [] } in
+      incr count;
+      nodes := n :: !nodes;
+      n
+    in
+    let edge a b = a.succs <- b.id :: a.succs in
+    (* Build the subgraph of [block] with a given entry predecessor;
+       returns the node control falls out of. Blocks are op lists
+       executed in order, so each op's subgraph chains onto the
+       previous exit. *)
+    let rec build_block ~partition (prev : node) (b : Op.block) : node =
+      List.fold_left (fun prev op -> build_op ~partition prev op) prev b.Op.ops
+    and build_op ~partition (prev : node) (op : Op.op) : node =
+      match op.Op.opcode with
+      | Op.For ->
+        (* head: reads (lb, ub, step, inits...), binds body params
+           (iv, iters...). Executions: prev -> head -> body -> head
+           (back-edge, rebinding iters from the Yield) and the
+           zero-trip bypass head -> tail. tail binds the op results. *)
+        let body = Op.entry_block (List.hd op.Op.regions) in
+        let head =
+          mk_node ~defs:body.Op.params ~uses:op.Op.operands ~partition (Head op)
+        in
+        edge prev head;
+        let body_exit = build_block ~partition head body in
+        edge body_exit head;
+        let tail = mk_node ~defs:op.Op.results ~partition (Tail op) in
+        edge head tail;
+        tail
+      | Op.If ->
+        let head = mk_node ~uses:op.Op.operands ~partition (Head op) in
+        edge prev head;
+        let tail = mk_node ~defs:op.Op.results ~partition (Tail op) in
+        (match op.Op.regions with
+        | [] -> edge head tail
+        | regions ->
+          List.iter
+            (fun r ->
+              let exit = build_block ~partition head (Op.entry_block r) in
+              edge exit tail)
+            regions;
+          (* A missing else-region means the no-op path exists too. *)
+          if List.length regions < 2 then edge head tail);
+        tail
+      | Op.Warp_group ->
+        (* All partitions execute concurrently; for dataflow purposes
+           each is a path from head to tail. Partition index is the
+           region's position, matching {!Model.site.partition}. *)
+        let head = mk_node ~uses:op.Op.operands ~partition (Head op) in
+        edge prev head;
+        let tail = mk_node ~defs:op.Op.results ~partition (Tail op) in
+        List.iteri
+          (fun i r ->
+            let exit = build_block ~partition:i head (Op.entry_block r) in
+            edge exit tail)
+          op.Op.regions;
+        if op.Op.regions = [] then edge head tail;
+        tail
+      | _ ->
+        let n =
+          mk_node ~defs:op.Op.results ~uses:op.Op.operands ~partition (Plain op)
+        in
+        edge prev n;
+        n
+    in
+    let entry = mk_node ~defs:k.Kernel.params ~partition:(-1) Entry in
+    let _exit = build_block ~partition:(-1) entry (Kernel.entry k) in
+    let arr = Array.of_list (List.rev !nodes) in
+    Array.sort (fun a b -> Int.compare a.id b.id) arr;
+    let graph =
+      { succs = Array.map (fun n -> Array.of_list (List.rev n.succs)) arr }
+    in
+    let def_node = Value.Tbl.create 64 in
+    Array.iter
+      (fun n -> List.iter (fun v -> Value.Tbl.replace def_node v n.id) n.defs)
+      arr;
+    { kernel = k; nodes = arr; graph; def_node }
+
+  let num_nodes t = Array.length t.nodes
+  let node t i = t.nodes.(i)
+  let defining_node t v = Value.Tbl.find_opt t.def_node v
+end
+
+(* ---------------------------- liveness ---------------------------- *)
+
+module Liveness = struct
+  type t = {
+    cfg : Cfg.t;
+    live_in : Int_set.t array;  (** value ids live before each node *)
+    live_out : Int_set.t array;  (** value ids live after each node *)
+  }
+
+  let transfer (cfg : Cfg.t) u (out : Int_set.t) =
+    let n = cfg.Cfg.nodes.(u) in
+    let minus_defs =
+      List.fold_left (fun s v -> Int_set.remove (Value.id v) s) out n.Cfg.defs
+    in
+    List.fold_left (fun s v -> Int_set.add (Value.id v) s) minus_defs n.Cfg.uses
+
+  let run (cfg : Cfg.t) : t =
+    let r =
+      Set_solver.solve ~direction:Backward ~graph:cfg.Cfg.graph
+        ~transfer:(transfer cfg) ()
+    in
+    (* Backward: solver "input" is the join over successors = live-out;
+       "output" is the transferred fact = live-in. *)
+    { cfg; live_in = r.Set_solver.output; live_out = r.Set_solver.input }
+
+  let live_in t i = t.live_in.(i)
+  let live_out t i = t.live_out.(i)
+end
+
+(* -------------------------- reaching defs ------------------------- *)
+
+module Reaching = struct
+  type t = {
+    cfg : Cfg.t;
+    reach_in : Int_set.t array;  (** node ids whose defs reach entry *)
+    reach_out : Int_set.t array;
+  }
+
+  (* SSA: every value has one def, so there are no kills; a node's
+     contribution is itself when it defines anything. *)
+  let transfer (cfg : Cfg.t) u (inp : Int_set.t) =
+    if cfg.Cfg.nodes.(u).Cfg.defs = [] then inp else Int_set.add u inp
+
+  let run (cfg : Cfg.t) : t =
+    let r =
+      Set_solver.solve ~direction:Forward ~graph:cfg.Cfg.graph
+        ~transfer:(transfer cfg) ()
+    in
+    { cfg; reach_in = r.Set_solver.input; reach_out = r.Set_solver.output }
+
+  let reach_in t i = t.reach_in.(i)
+  let reach_out t i = t.reach_out.(i)
+end
+
+(* -------------------------- use-def chains ------------------------ *)
+
+(** One use site: the node, the value read, and the defining node (or
+    [None] for a dangling operand — a value no node defines). *)
+type use = { use_node : int; value : Value.t; def : int option }
+
+let use_def (cfg : Cfg.t) : use list =
+  Array.to_list cfg.Cfg.nodes
+  |> List.concat_map (fun n ->
+         List.map
+           (fun v ->
+             {
+               use_node = n.Cfg.id;
+               value = v;
+               def = Cfg.defining_node cfg v;
+             })
+           n.Cfg.uses)
+
+(** Uses whose definition does not exist or cannot reach them along any
+    path: the static "uninitialized read" evidence. *)
+let unreachable_uses (cfg : Cfg.t) (r : Reaching.t) : use list =
+  use_def cfg
+  |> List.filter (fun u ->
+         match u.def with
+         | None -> true
+         | Some d ->
+           (* A def in the same node (head binding its own params) is
+              visible to the node's uses evaluated at the head. *)
+           d <> u.use_node
+           && not (Int_set.mem d (Reaching.reach_in r u.use_node)))

@@ -30,6 +30,22 @@ let warning ~check ?op ?values fmt = mk ~check ~severity:Warning ?op ?values fmt
 let is_error d = d.severity = Error
 let errors ds = List.filter is_error ds
 
+(* Deterministic print order: op id, then check name, then message.
+   Op ids are assigned in compile order, so the relative order is
+   stable across runs; diagnostics without an op sort first. Callers
+   that report several kernels iterate them in file order, giving the
+   (kernel, op id, check) order the golden tests rely on. *)
+let compare_diag a b =
+  let oid d = match d.op with Some o -> o.Op.oid | None -> 0 in
+  match Int.compare (oid a) (oid b) with
+  | 0 -> (
+    match String.compare a.check b.check with
+    | 0 -> String.compare a.message b.message
+    | c -> c)
+  | c -> c
+
+let sort ds = List.stable_sort compare_diag ds
+
 (* Render the offending op with stable ids so the report lines up with
    the [--ids] IR dump. Ops carrying regions (loops, warp groups) are
    abbreviated to "name {id = N}": printing whole bodies would drown

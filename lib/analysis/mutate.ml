@@ -330,3 +330,140 @@ let get_without_put =
 let all =
   [ drop_consumed; drop_put; get_without_put; double_get; swap_get_consumed;
     shrink_depth; leak_value; stray_slot; unguard_release; second_producer ]
+
+(* ----------------------- statcheck mutations ----------------------- *)
+
+(* These break performance invariants rather than the aref protocol;
+   the statcheck harness asserts each is flagged by the named lint
+   (see {!Statcheck.check_kernel}) on GEMM and attention bases. *)
+
+(* Stage a tile into SMEM that no op ever reads. *)
+let inject_dead_store =
+  { name = "inject-dead-store";
+    expect = "dead-store";
+    apply =
+      (fun k ->
+        let k = Kernel.clone k in
+        match
+          first_op
+            (fun op ->
+              List.exists (fun r -> Types.is_tensor (Value.ty r)) op.Op.results)
+            k
+        with
+        | None -> None
+        | Some def_op ->
+          let tile =
+            List.find (fun r -> Types.is_tensor (Value.ty r)) def_op.Op.results
+          in
+          let shape, dtype =
+            match Value.ty tile with
+            | Types.TTensor { shape; dtype } -> (shape, dtype)
+            | _ -> assert false
+          in
+          let dead =
+            Op.mk Op.Local_alloc ~operands:[ tile ]
+              ~results:[ Value.fresh ~hint:"dead" (Types.memdesc shape dtype) ]
+          in
+          if insert ~after:true def_op [ dead ] k then Some k else None) }
+
+(* Remove a tile/constant seed whose result is in use: its consumers
+   (typically a loop's init) read a value no op defines any more. *)
+let drop_init =
+  { name = "drop-init";
+    expect = "uninit-read";
+    apply =
+      (fun k ->
+        let k = Kernel.clone k in
+        let g = Graph.build k.Kernel.body in
+        let is_seed (op : Op.op) =
+          match op.Op.opcode with
+          | Op.Splat | Op.Iota | Op.Const_float _ -> op.Op.results <> []
+          | _ -> false
+        in
+        match first_op (fun op -> is_seed op && Graph.op_used g op) k with
+        | None -> None
+        | Some seed ->
+          if remove_ops (fun o -> o == seed) k > 0 then Some k else None) }
+
+(* Claim a deeper MMA pipeline than the releases are actually re-timed
+   for: depth the kernel pays registers for and cannot use. *)
+let inflate_depth =
+  { name = "inflate-depth";
+    expect = "pipeline-depth";
+    apply =
+      (fun k ->
+        if first_op (is_opcode Op.Aref_get) k = None then None
+        else begin
+          let k = Kernel.clone k in
+          let p = Option.value (Kernel.attr_int k "mma_depth") ~default:2 in
+          Kernel.set_attr k "mma_depth" (Op.Attr_int (p + 6));
+          Some k
+        end) }
+
+(* Blow one ring past the SM's SMEM budget: the kernel can no longer be
+   resident, which the static occupancy verdict must report. *)
+let oversize_smem =
+  { name = "oversize-smem";
+    expect = "occupancy";
+    apply =
+      (fun k ->
+        let k = Kernel.clone k in
+        let huge = 4096 in
+        let changed = ref false in
+        List.iter
+          (fun (b : Op.block) ->
+            b.Op.ops <-
+              List.map
+                (fun (op : Op.op) ->
+                  match op.Op.opcode with
+                  | Op.Aref_create _ when not !changed ->
+                    let old = List.hd op.Op.results in
+                    let payload =
+                      match Value.ty old with
+                      | Types.TAref { payload; _ } -> payload
+                      | _ -> []
+                    in
+                    let fresh =
+                      Value.fresh ~hint:(Value.hint old) (Types.aref payload huge)
+                    in
+                    Op.substitute_uses
+                      (fun v -> if Value.equal v old then fresh else v)
+                      k.Kernel.body;
+                    changed := true;
+                    Op.mk ~attrs:op.Op.attrs ~results:[ fresh ] (Op.Aref_create huge)
+                  | _ -> op)
+                b.Op.ops)
+          (all_blocks k);
+        if !changed then Some k else None) }
+
+(* A channel nobody puts to or gets from: its slots and barriers are
+   allocated for nothing. *)
+let orphan_slot =
+  { name = "orphan-slot";
+    expect = "channel-unused";
+    apply =
+      (fun k ->
+        let k = Kernel.clone k in
+        match
+          first_op
+            (fun op ->
+              match op.Op.opcode with Op.Aref_create _ -> true | _ -> false)
+            k
+        with
+        | None -> None
+        | Some cr ->
+          let payload =
+            match Value.ty (List.hd cr.Op.results) with
+            | Types.TAref { payload; _ } -> payload
+            | _ -> []
+          in
+          let orphan =
+            Op.mk (Op.Aref_create 2)
+              ~results:[ Value.fresh ~hint:"orphan" (Types.aref payload 2) ]
+          in
+          if insert ~after:true cr [ orphan ] k then Some k else None) }
+
+(** Statcheck-lint mutations, kept separate from {!all}: their expected
+    checks live in {!Statcheck.check_kernel}, not {!Arefcheck}. *)
+let statcheck_all =
+  [ inject_dead_store; drop_init; inflate_depth; oversize_smem; orphan_slot ]

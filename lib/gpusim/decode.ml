@@ -2144,6 +2144,52 @@ let make_ctx (d : t) ~(params : Sim.rt list) ~(num_programs : int array)
   Array.iteri (fun i b -> Mbarrier.set_notify b (fun ring -> wake_ring ctx i ring)) ctx.rings;
   ctx
 
+(* ------------------- resource high-water marks -------------------- *)
+
+(** Measured resident footprint of a finished context, the ground truth
+    the static occupancy model ({!Tawa_analysis.Footprint}) is
+    validated against. Registers are never retired by either engine, so
+    a post-run scan of the tensor plane is the high-water mark of
+    register-tile bytes — no hot-path instrumentation, preserving the
+    bit-identity contract above. Registers [0..nparams-1] hold the
+    launch parameters (whole global buffers bound as tensors), not
+    kernel-allocated tiles, and are excluded. SMEM writes land only in
+    functional mode, so the SMEM figure is meaningful there: every
+    [Some] slot of the dense array counts its allocation's slot bytes,
+    plus any out-of-range fallback tensors. *)
+type hwm = {
+  hwm_reg_bytes : int array;  (** per warp group (= per stream) *)
+  hwm_smem_bytes : int;
+}
+
+let measure_hwm (d : t) (ctx : ectx) : hwm =
+  let nparams = List.length d.d_program.Isa.param_tys in
+  let tensor_bytes t = Tensor.numel t * Dtype.size_bytes (Tensor.dtype t) in
+  let reg_bytes =
+    Array.map
+      (fun w ->
+        let p = w.planes in
+        let acc = ref 0 in
+        for r = nparams to p.cap - 1 do
+          if Bytes.get p.tags r = t_tensor then
+            match p.objs.(r) with
+            | Otensor t -> acc := !acc + tensor_bytes t
+            | _ -> ()
+        done;
+        !acc)
+      ctx.wgs
+  in
+  let smem = ref 0 in
+  List.iter
+    (fun (a : Isa.alloc) ->
+      let base = ctx.smem_base.(a.Isa.alloc_id) in
+      for s = 0 to a.Isa.slots - 1 do
+        if ctx.smem.(base + s) <> None then smem := !smem + a.Isa.bytes_per_slot
+      done)
+    d.d_program.Isa.allocs;
+  Hashtbl.iter (fun _ t -> smem := !smem + tensor_bytes t) ctx.smem_over;
+  { hwm_reg_bytes = reg_bytes; hwm_smem_bytes = !smem }
+
 (* ------------------------- profiling ------------------------------ *)
 
 (* Stall/channel profile of a finished context; must agree exactly with

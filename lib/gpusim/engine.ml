@@ -235,6 +235,26 @@ let run_prepared ?max_steps (p : prepared) ~(params : Sim.rt list)
   ignore (Atomic.fetch_and_add retired outcome.Sim.instructions);
   outcome
 
+(** Run one CTA on the decoded engine and scan its resource high-water
+    marks afterwards ({!Decode.measure_hwm}): resident register-tile
+    bytes per warp group and written SMEM bytes. The differential
+    statcheck suite uses this as ground truth for the static occupancy
+    model; SMEM is only meaningful under a functional-mode [cfg]. The
+    engine choice is forced: the measurement needs the decoded
+    context's planes. *)
+let run_measured ?max_steps ~(cfg : Config.t) ~(program : Isa.program)
+    ~(params : Sim.rt list) ~(num_programs : int array)
+    ?(pid = [| 0; 0; 0 |]) ~(pop_global : unit -> int) () :
+    Sim.outcome * Decode.hwm =
+  let key = cache_key cfg program in
+  let d =
+    Progcache.find_or_add decode_cache ~key (fun () -> Decode.decode ~cfg program)
+  in
+  let ctx = Decode.make_ctx d ~params ~num_programs ~pid ~pop_global in
+  let outcome = run_decoded ?max_steps ctx in
+  ignore (Atomic.fetch_and_add retired outcome.Sim.instructions);
+  (outcome, Decode.measure_hwm d ctx)
+
 (** Prepare-and-run a single CTA (tests, one-shot launches). *)
 let run_cta ?max_steps ~(cfg : Config.t) ~(program : Isa.program)
     ~(params : Sim.rt list) ~(num_programs : int array)

@@ -126,4 +126,19 @@ let compile ?(options = default_options) (kernel : Kernel.t) : result =
   if ws then arefcheck "pipelining" k;
   if options.persistent then Kernel.set_attr k "persistent" (Op.Attr_bool true);
   Kernel.set_attr k "num_consumer_wgs" (Op.Attr_int options.num_consumer_wgs);
+  (* Statcheck runs on the final IR: performance lints plus the static
+     occupancy verdict. Warn by default so a lossy-but-working kernel
+     still compiles; TAWA_STATCHECK=error gates the compile on a clean
+     report, TAWA_STATCHECK=off skips the analysis entirely. *)
+  (match Tawa_analysis.Statcheck.mode_of_env () with
+  | Tawa_analysis.Statcheck.Off -> ()
+  | Tawa_analysis.Statcheck.Warn ->
+    List.iter
+      (fun d ->
+        Log.warn (fun m ->
+            m "statcheck %s: %s" k.Kernel.name
+              (Tawa_analysis.Diagnostic.to_string d)))
+      (Tawa_analysis.Statcheck.check_kernel k)
+  | Tawa_analysis.Statcheck.Error ->
+    Tawa_analysis.Statcheck.assert_clean ~what:k.Kernel.name k);
   { kernel = k; trace = List.rev !trace; warp_specialized = ws; coarse }

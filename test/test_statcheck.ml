@@ -1,0 +1,358 @@
+(* Statcheck: the clean corpus lints clean, every statcheck mutation is
+   flagged on GEMM + attention, the dataflow solver agrees with a naive
+   O(n^2) reference on random CFGs (and its fixpoints are idempotent),
+   and the static register/SMEM predictions are a sound, usefully tight
+   upper bound on the decode engine's measured high-water marks across
+   the four figure kernel families. *)
+
+open Tawa_tensor
+open Tawa_ir
+open Tawa_frontend
+open Tawa_analysis
+open Tawa_machine
+open Tawa_gpusim
+open Tawa_core
+
+let small_tiles = { Kernels.block_m = 16; block_n = 16; block_k = 8 }
+
+let flow_opts ?(d = 2) ?(p = 2) ?(coop = 1) ?(persistent = false) ?(coarse = false) () =
+  { Flow.aref_depth = d; mma_depth = p; num_consumer_wgs = coop; persistent;
+    use_coarse = coarse }
+
+let compile ?d ?p ?coop ?persistent ?coarse k =
+  Flow.compile ~options:(flow_opts ?d ?p ?coop ?persistent ?coarse ()) k
+
+(* ------------------------- clean corpus --------------------------- *)
+
+let assert_lint_clean what (k : Kernel.t) =
+  match Statcheck.check_kernel k with
+  | [] -> ()
+  | ds -> Alcotest.failf "%s has statcheck diagnostics:\n%s" what (Diagnostic.report ds)
+
+let test_clean_corpus () =
+  let gemm = Kernels.gemm ~tiles:small_tiles () in
+  assert_lint_clean "gemm d2p2" (compile gemm).Flow.transformed;
+  assert_lint_clean "gemm d4p3" (compile ~d:4 ~p:3 gemm).Flow.transformed;
+  assert_lint_clean "gemm coop2" (compile ~coop:2 gemm).Flow.transformed;
+  assert_lint_clean "gemm persistent" (compile ~persistent:true gemm).Flow.transformed;
+  assert_lint_clean "batched gemm"
+    (compile (Kernels.batched_gemm ~tiles:small_tiles ())).Flow.transformed;
+  assert_lint_clean "gemm_bias_relu"
+    (compile (Kernels.gemm_bias_relu ~tiles:small_tiles ())).Flow.transformed;
+  let attn = Kernels.attention ~block_m:16 ~block_n:16 ~head_dim:8 () in
+  assert_lint_clean "attention" (compile attn).Flow.transformed;
+  assert_lint_clean "attention coarse" (compile ~coarse:true attn).Flow.transformed
+
+(* Feasible figure kernels get a Feasible verdict with sane occupancy;
+   an impossible configuration is rejected by the same predicate the
+   autotuner will call. *)
+let test_occupancy_verdicts () =
+  let r =
+    Statcheck.occupancy_report
+      (compile (Kernels.gemm ~tiles:small_tiles ())).Flow.transformed
+  in
+  (match r.Statcheck.verdict with
+  | Resources.Feasible u ->
+    Alcotest.(check bool) "smem within budget" true
+      (u.Resources.smem_bytes <= Resources.smem_capacity_bytes)
+  | Resources.Infeasible why -> Alcotest.failf "small gemm infeasible: %s" why);
+  Alcotest.(check bool) "at least one CTA resident" true (r.Statcheck.ctas_per_sm >= 1);
+  Alcotest.(check bool) "headroom reported" true
+    (r.Statcheck.smem_headroom > 0 && r.Statcheck.reg_headroom > 0);
+  (* 128x128x64 f16 at D=8 blows the 227 KiB budget statically. *)
+  match
+    Statcheck.occupancy (compile ~d:8 (Kernels.gemm ())).Flow.transformed
+  with
+  | Resources.Infeasible _ -> ()
+  | Resources.Feasible u ->
+    Alcotest.failf "gemm 128x128 D=8 should be infeasible (smem=%d)"
+      u.Resources.smem_bytes
+
+(* --------------------- statcheck mutations ------------------------ *)
+
+let assert_statcheck_flagged ~check what ds =
+  if not (List.exists (fun (d : Diagnostic.t) -> d.Diagnostic.check = check) ds) then
+    Alcotest.failf "%s: expected a diagnostic from check %S, got:\n%s" what check
+      (if ds = [] then "(no diagnostics)" else Diagnostic.report ds)
+
+let test_statcheck_mutations () =
+  let bases =
+    [ ("gemm", (compile (Kernels.gemm ~tiles:small_tiles ())).Flow.transformed);
+      ("attention",
+       (compile (Kernels.attention ~block_m:16 ~block_n:16 ~head_dim:8 ())).Flow.transformed) ]
+  in
+  List.iter (fun (bname, k) -> assert_lint_clean bname k) bases;
+  List.iter
+    (fun (mu : Mutate.t) ->
+      List.iter
+        (fun (bname, base) ->
+          match mu.Mutate.apply base with
+          | None ->
+            Alcotest.failf "statcheck mutation %s does not apply to %s"
+              mu.Mutate.name bname
+          | Some mutant ->
+            assert_statcheck_flagged ~check:mu.Mutate.expect
+              (Printf.sprintf "mutation %s on %s" mu.Mutate.name bname)
+              (Statcheck.check_kernel mutant))
+        bases)
+    Mutate.statcheck_all;
+  Alcotest.(check int) "five statcheck mutations" 5 (List.length Mutate.statcheck_all)
+
+(* Diagnostics print in deterministic (op id, check, message) order. *)
+let test_diagnostic_sort () =
+  let v = Value.fresh Types.i32 in
+  let o1 = Op.mk (Op.Const_int 1) ~results:[ v ] in
+  let o2 = Op.mk (Op.Const_int 2) ~results:[ Value.fresh Types.i32 ] in
+  let d1 = Diagnostic.warning ~check:"b-check" ~op:o2 "late op" in
+  let d2 = Diagnostic.warning ~check:"b-check" ~op:o1 "early op" in
+  let d3 = Diagnostic.warning ~check:"a-check" ~op:o1 "early op, earlier check" in
+  let d4 = Diagnostic.warning ~check:"c-check" "no op" in
+  let sorted = Diagnostic.sort [ d1; d2; d3; d4 ] in
+  Alcotest.(check (list string)) "sorted by (op id, check)"
+    [ "c-check"; "a-check"; "b-check"; "b-check" ]
+    (List.map (fun (d : Diagnostic.t) -> d.Diagnostic.check) sorted)
+
+(* ------------------- dataflow solver properties ------------------- *)
+
+(* Random dataflow instances: [n] nodes, random successor lists, and a
+   gen/kill pair per node with facts drawn from [0..7]. The transfer
+   function gen U (x \ kill) is the shape both liveness and reaching
+   definitions use. *)
+type dfg = { n : int; nodes : (int list * int list * int list) list }
+
+let arb_dfg =
+  let open QCheck in
+  let gen =
+    Gen.(
+      int_range 1 10 >>= fun n ->
+      list_repeat n
+        (triple
+           (list_size (int_range 0 3) (int_range 0 (n - 1)))
+           (list_size (int_range 0 3) (int_range 0 7))
+           (list_size (int_range 0 3) (int_range 0 7)))
+      >|= fun nodes -> { n; nodes })
+  in
+  QCheck.make gen ~print:(fun g ->
+      Printf.sprintf "dfg(n=%d; %s)" g.n
+        (String.concat "; "
+           (List.map
+              (fun (s, gen, kill) ->
+                Printf.sprintf "succs=[%s] gen=[%s] kill=[%s]"
+                  (String.concat "," (List.map string_of_int s))
+                  (String.concat "," (List.map string_of_int gen))
+                  (String.concat "," (List.map string_of_int kill)))
+              g.nodes)))
+
+let graph_of g =
+  { Dataflow.succs =
+      Array.of_list
+        (List.map (fun (s, _, _) -> Array.of_list (List.sort_uniq compare s)) g.nodes) }
+
+let transfer_of g =
+  let tbl =
+    Array.of_list
+      (List.map
+         (fun (_, gen, kill) ->
+           (Dataflow.Int_set.of_list gen, Dataflow.Int_set.of_list kill))
+         g.nodes)
+  in
+  fun u x ->
+    let gen, kill = tbl.(u) in
+    Dataflow.Int_set.union gen (Dataflow.Int_set.diff x kill)
+
+let solver_matches direction g =
+  let graph = graph_of g and transfer = transfer_of g in
+  let a = Dataflow.Set_solver.solve ~direction ~graph ~transfer () in
+  let b = Dataflow.Set_solver.solve_naive ~direction ~graph ~transfer () in
+  let eq x y =
+    Array.length x = Array.length y
+    && Array.for_all2 Dataflow.Int_set.equal x y
+  in
+  eq a.Dataflow.Set_solver.input b.Dataflow.Set_solver.input
+  && eq a.Dataflow.Set_solver.output b.Dataflow.Set_solver.output
+
+let fixpoint_idempotent direction g =
+  let graph = graph_of g and transfer = transfer_of g in
+  let r = Dataflow.Set_solver.solve ~direction ~graph ~transfer () in
+  let preds = Dataflow.preds_of graph in
+  let into =
+    match direction with
+    | Dataflow.Forward -> preds
+    | Dataflow.Backward -> graph.Dataflow.succs
+  in
+  let ok = ref true in
+  Array.iteri
+    (fun u sucs ->
+      ignore sucs;
+      let joined =
+        Array.fold_left
+          (fun acc p -> Dataflow.Int_set.union acc r.Dataflow.Set_solver.output.(p))
+          Dataflow.Int_set.empty into.(u)
+      in
+      if not (Dataflow.Int_set.equal joined r.Dataflow.Set_solver.input.(u)) then
+        ok := false;
+      if
+        not
+          (Dataflow.Int_set.equal
+             (transfer u r.Dataflow.Set_solver.input.(u))
+             r.Dataflow.Set_solver.output.(u))
+      then ok := false)
+    graph.Dataflow.succs;
+  !ok
+
+let prop_solver_forward =
+  QCheck.Test.make ~name:"dataflow: worklist == naive (forward)" ~count:200 arb_dfg
+    (solver_matches Dataflow.Forward)
+
+let prop_solver_backward =
+  QCheck.Test.make ~name:"dataflow: worklist == naive (backward)" ~count:200 arb_dfg
+    (solver_matches Dataflow.Backward)
+
+let prop_fixpoint =
+  QCheck.Test.make ~name:"dataflow: fixpoints are idempotent" ~count:200 arb_dfg
+    (fun g ->
+      fixpoint_idempotent Dataflow.Forward g
+      && fixpoint_idempotent Dataflow.Backward g)
+
+(* The IR-level analyses agree with the naive solver on a real compiled
+   kernel's CFG, not just synthetic graphs. *)
+let test_ir_analyses_match_naive () =
+  let k = (compile (Kernels.gemm ~tiles:small_tiles ())).Flow.transformed in
+  let cfg = Dataflow.Cfg.build k in
+  let check_one name direction transfer fast =
+    let naive =
+      Dataflow.Set_solver.solve_naive ~direction ~graph:cfg.Dataflow.Cfg.graph
+        ~transfer ()
+    in
+    Alcotest.(check bool) name true
+      (Array.for_all2 Dataflow.Int_set.equal fast naive.Dataflow.Set_solver.output)
+  in
+  let live = Dataflow.Liveness.run cfg in
+  check_one "liveness matches naive" Dataflow.Backward
+    (Dataflow.Liveness.transfer cfg) live.Dataflow.Liveness.live_in;
+  let reach = Dataflow.Reaching.run cfg in
+  check_one "reaching matches naive" Dataflow.Forward
+    (Dataflow.Reaching.transfer cfg) reach.Dataflow.Reaching.reach_out;
+  (* Use-def chains: every operand of every node resolves to a def. *)
+  let dangling =
+    List.filter (fun (u : Dataflow.use) -> u.Dataflow.def = None) (Dataflow.use_def cfg)
+  in
+  Alcotest.(check int) "no dangling uses in a clean kernel" 0 (List.length dangling)
+
+(* --------------- static vs measured (differential) ---------------- *)
+
+(* One functional CTA per family; the static model must bound the
+   decode engine's scan from above (soundness) without drifting past
+   the pinned slack (usefulness). *)
+(* Empirically the model is exact on all four families (static ==
+   measured for every warp group, and for SMEM everywhere except rings
+   deeper than the trip count, where unwritten slots leave static 1.5x
+   measured). 2x leaves room for cost-model churn without letting the
+   model drift into useless. *)
+let reg_slack = 2.0
+let smem_slack = 2.0
+
+let fcfg = { Config.h100 with Config.mode = Config.Functional }
+
+let gemm_params ~m ~n ~kk =
+  let a = Tensor.random ~dtype:Dtype.F16 ~seed:3 [| m; kk |] in
+  let b = Tensor.random ~dtype:Dtype.F16 ~seed:4 [| kk; n |] in
+  let c = Tensor.create ~dtype:Dtype.F16 [| m; n |] in
+  [ Sim.Rtensor a; Sim.Rtensor b; Sim.Rtensor c; Sim.Rint m; Sim.Rint n; Sim.Rint kk ]
+
+let attention_params ~l ~d =
+  let q = Tensor.random ~dtype:Dtype.F16 ~seed:11 [| l; d |] in
+  let kt = Tensor.random ~dtype:Dtype.F16 ~seed:12 [| l; d |] in
+  let v = Tensor.random ~dtype:Dtype.F16 ~seed:13 [| l; d |] in
+  let o = Tensor.create ~dtype:Dtype.F16 [| l; d |] in
+  [ Sim.Rtensor q; Sim.Rtensor kt; Sim.Rtensor v; Sim.Rtensor o; Sim.Rint l ]
+
+let differential what (c : Flow.compiled) ~params ~num_programs ~pop_global =
+  let _, hwm =
+    Engine.run_measured ~cfg:fcfg ~program:c.Flow.program ~params ~num_programs
+      ~pop_global ()
+  in
+  let fp = Footprint.compute c.Flow.transformed in
+  let parts = Array.of_list fp.Footprint.parts in
+  Alcotest.(check int)
+    (what ^ ": one measured warp group per static stream")
+    (Array.length parts)
+    (Array.length hwm.Decode.hwm_reg_bytes);
+  Array.iteri
+    (fun i (p : Footprint.part) ->
+      let measured = hwm.Decode.hwm_reg_bytes.(i) in
+      let static = p.Footprint.tensor_bytes in
+      if static < measured then
+        Alcotest.failf "%s wg%d (%s): static %d B < measured %d B (unsound)"
+          what i (Op.role_to_string p.Footprint.role) static measured;
+      if measured > 0 && float_of_int static > reg_slack *. float_of_int measured
+      then
+        Alcotest.failf "%s wg%d (%s): static %d B > %.0fx measured %d B (too loose)"
+          what i (Op.role_to_string p.Footprint.role) static reg_slack measured)
+    parts;
+  (* Non-vacuity: a consumer actually held tensor registers. *)
+  Alcotest.(check bool)
+    (what ^ ": some warp group measured > 0 register bytes")
+    true
+    (Array.exists (fun b -> b > 0) hwm.Decode.hwm_reg_bytes);
+  let m_smem = hwm.Decode.hwm_smem_bytes in
+  let s_smem = fp.Footprint.smem_bytes in
+  if s_smem < m_smem then
+    Alcotest.failf "%s: static SMEM %d B < measured %d B (unsound)" what s_smem m_smem;
+  if m_smem > 0 && float_of_int s_smem > smem_slack *. float_of_int m_smem then
+    Alcotest.failf "%s: static SMEM %d B > %.0fx measured %d B (too loose)" what
+      s_smem smem_slack m_smem
+
+let test_differential_gemm () =
+  differential "gemm d2p2"
+    (compile (Kernels.gemm ~tiles:small_tiles ()))
+    ~params:(gemm_params ~m:32 ~n:32 ~kk:16)
+    ~num_programs:[| 2; 2; 1 |] ~pop_global:Launch.no_queue;
+  differential "gemm d3p2"
+    (compile ~d:3 (Kernels.gemm ~tiles:small_tiles ()))
+    ~params:(gemm_params ~m:32 ~n:32 ~kk:16)
+    ~num_programs:[| 2; 2; 1 |] ~pop_global:Launch.no_queue
+
+let test_differential_attention () =
+  differential "attention"
+    (compile (Kernels.attention ~block_m:16 ~block_n:16 ~head_dim:8 ()))
+    ~params:(attention_params ~l:32 ~d:8)
+    ~num_programs:[| 2; 1; 1 |] ~pop_global:Launch.no_queue
+
+let test_differential_persistent () =
+  differential "persistent gemm"
+    (compile ~persistent:true (Kernels.gemm ~tiles:small_tiles ()))
+    ~params:(gemm_params ~m:32 ~n:32 ~kk:16)
+    ~num_programs:[| 2; 2; 1 |]
+    ~pop_global:(Launch.queue_of_list [ 0; 1; 2; 3 ])
+
+let test_differential_coop () =
+  differential "coop gemm"
+    (compile ~coop:2 (Kernels.gemm ~tiles:small_tiles ()))
+    ~params:(gemm_params ~m:32 ~n:32 ~kk:16)
+    ~num_programs:[| 2; 2; 1 |] ~pop_global:Launch.no_queue
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let suites =
+  [
+    ( "statcheck.clean",
+      [ Alcotest.test_case "compiled corpus lints clean" `Quick test_clean_corpus;
+        Alcotest.test_case "occupancy verdicts" `Quick test_occupancy_verdicts ] );
+    ( "statcheck.mutations",
+      [ Alcotest.test_case "five statcheck mutations flagged on gemm + attention"
+          `Quick test_statcheck_mutations;
+        Alcotest.test_case "diagnostics sort deterministically" `Quick
+          test_diagnostic_sort ] );
+    qsuite "statcheck.dataflow" [ prop_solver_forward; prop_solver_backward; prop_fixpoint ];
+    ( "statcheck.dataflow-ir",
+      [ Alcotest.test_case "IR analyses match the naive solver" `Quick
+          test_ir_analyses_match_naive ] );
+    ( "statcheck.differential",
+      [ Alcotest.test_case "gemm static bounds measured" `Quick test_differential_gemm;
+        Alcotest.test_case "attention static bounds measured" `Quick
+          test_differential_attention;
+        Alcotest.test_case "persistent static bounds measured" `Quick
+          test_differential_persistent;
+        Alcotest.test_case "coop static bounds measured" `Quick test_differential_coop ] );
+  ]

@@ -8,7 +8,7 @@
 
    Flags:
      --json [PATH]   also write a machine-readable trajectory record
-                     (default PATH: BENCH_PR6.json). Each selected
+                     (default PATH: BENCH_PR8.json). Each selected
                      figure is timed three times: the tree-walking
                      reference engine on 1 domain, the decoded
                      (closure-compiled) engine on 1 domain — isolating
@@ -126,7 +126,7 @@ let batched_timing ~ws ~batch (shape : Workloads.gemm_shape) =
     if ws then
       Flow.compile
         ~options:
-          { Flow.aref_depth = 3; mma_depth = 2; num_consumer_wgs = 1; persistent = true;
+          { Flow.default_options with aref_depth = 3; mma_depth = 2; num_consumer_wgs = 1; persistent = true;
             use_coarse = false }
         kernel
     else Flow.compile_sw_pipelined ~stages:3 kernel
@@ -147,7 +147,7 @@ let grouped_timing ~ws (group : Workloads.group) =
           let compiled =
             Flow.compile
               ~options:
-                { Flow.aref_depth = 3; mma_depth = 2; num_consumer_wgs = 1;
+                { Flow.default_options with aref_depth = 3; mma_depth = 2; num_consumer_wgs = 1;
                   persistent = false; use_coarse = false }
               kernel
           in
@@ -369,21 +369,21 @@ let fig12_gemm () =
          (fun () ->
            time
              (Flow.compile
-                ~options:{ Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1;
+                ~options:{ Flow.default_options with aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1;
                            persistent = false; use_coarse = false }
                 (Kernels.gemm ~tiles:small ()))
              ~tiles:small);
          (fun () ->
            time
              (Flow.compile
-                ~options:{ Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 2;
+                ~options:{ Flow.default_options with aref_depth = 2; mma_depth = 1; num_consumer_wgs = 2;
                            persistent = false; use_coarse = false }
                 (Kernels.gemm ~tiles:large ()))
              ~tiles:large);
          (fun () ->
            time
              (Flow.compile
-                ~options:{ Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 2;
+                ~options:{ Flow.default_options with aref_depth = 2; mma_depth = 1; num_consumer_wgs = 2;
                            persistent = true; use_coarse = false }
                 (Kernels.gemm ~tiles:large ()))
              ~tiles:large);
@@ -428,13 +428,13 @@ let fig12_mha () =
          (fun () ->
            time
              (Flow.compile
-                ~options:{ Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1;
+                ~options:{ Flow.default_options with aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1;
                            persistent = false; use_coarse = false }
                 (kernel Dtype.F16)));
          (fun () ->
            time
              (Flow.compile
-                ~options:{ Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1;
+                ~options:{ Flow.default_options with aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1;
                            persistent = false; use_coarse = true }
                 (kernel Dtype.F16)));
          (fun () ->
@@ -443,7 +443,7 @@ let fig12_mha () =
                let t =
                  time
                    (Flow.compile
-                      ~options:{ Flow.aref_depth = d; mma_depth = 1; num_consumer_wgs = 1;
+                      ~options:{ Flow.default_options with aref_depth = d; mma_depth = 1; num_consumer_wgs = 1;
                                  persistent = false; use_coarse = true }
                       (kernel Dtype.F16))
                in
@@ -658,7 +658,7 @@ let rep_gemm_items shapes () =
       let compiled =
         Flow.compile
           ~options:
-            { Flow.aref_depth = 3; mma_depth = 2; num_consumer_wgs = 1;
+            { Flow.default_options with aref_depth = 3; mma_depth = 2; num_consumer_wgs = 1;
               persistent = false; use_coarse = false }
           kernel
       in
@@ -796,7 +796,7 @@ let occupancy_json (name, compiled) =
 
 let static_occupancy () =
   let opts ?(d = 2) ?(p = 2) ?(coop = 1) ?(persistent = false) () =
-    { Flow.aref_depth = d; mma_depth = p; num_consumer_wgs = coop; persistent;
+    { Flow.default_options with aref_depth = d; mma_depth = p; num_consumer_wgs = coop; persistent;
       use_coarse = false }
   in
   let tiles = Frameworks.tiles_128x128 in
@@ -813,6 +813,58 @@ let static_occupancy () =
              (Kernels.gemm ~tiles ()) );
          ( "coop_gemm",
            Flow.compile ~options:(opts ~coop:2 ()) (Kernels.gemm ~tiles ()) ) ])
+
+(* --------------------------- autotune ----------------------------- *)
+
+(* The occupancy-pruned search (PR8) on one figure shape per family,
+   reported against the hand-tuned expert schedule. Runs once on the
+   decoded engine (searching under the reference engine three times
+   would measure the search, not the simulator). *)
+let autotune_one (name, fam) =
+  let r = Autotune.search fam in
+  let s = r.Autotune.stats in
+  let expert = Autotune.measure fam (Autotune.expert fam) in
+  let best = r.Autotune.best in
+  let ratio =
+    if expert.Autotune.tflops > 0.0 then best.Autotune.tflops /. expert.Autotune.tflops
+    else 0.0
+  in
+  let rate =
+    if s.Autotune.total = 0 then 0.0
+    else float_of_int s.Autotune.pruned /. float_of_int s.Autotune.total
+  in
+  pr "  %-14s %3d cands, %3d pruned (%4.1f%%), %3d measured, %5.2fs%s\n" name
+    s.Autotune.total s.Autotune.pruned (100.0 *. rate) s.Autotune.measured
+    s.Autotune.wall_seconds
+    (if s.Autotune.prune_fallback then "  [prune fallback]" else "");
+  pr "    best   %-40s %8.1f TFLOPS\n"
+    (Autotune.candidate_to_string best.Autotune.candidate)
+    best.Autotune.tflops;
+  pr "    expert %-40s %8.1f TFLOPS   tuned/expert %.3fx\n"
+    (Autotune.candidate_to_string expert.Autotune.candidate)
+    expert.Autotune.tflops ratio;
+  ( name,
+    Json.Obj
+      [ ("candidates", Json.Int s.Autotune.total);
+        ("pruned", Json.Int s.Autotune.pruned);
+        ("prune_rate", Json.Float rate);
+        ("measured", Json.Int s.Autotune.measured);
+        ("prune_fallback", Json.Bool s.Autotune.prune_fallback);
+        ("wall_seconds", Json.Float s.Autotune.wall_seconds);
+        ("best", Json.Str (Autotune.candidate_to_string best.Autotune.candidate));
+        ("best_tflops", Json.Float best.Autotune.tflops);
+        ( "expert",
+          Json.Str (Autotune.candidate_to_string expert.Autotune.candidate) );
+        ("expert_tflops", Json.Float expert.Autotune.tflops);
+        ("tuned_vs_expert", Json.Float ratio) ] )
+
+let autotune_report () =
+  section "Autotune: occupancy-pruned search vs expert schedule";
+  Json.Obj
+    (List.map autotune_one
+       [ ("gemm_fp16", Autotune.Gemm (Workloads.paper_gemm 4096));
+         ("gemm_fp8", Autotune.Gemm (Workloads.paper_gemm ~dtype:Dtype.F8E4M3 4096));
+         ("mha_fp16", Autotune.Attention (Workloads.paper_mha 4096)) ])
 
 (* ------------------------------------------------------------------ *)
 
@@ -881,12 +933,15 @@ let run_figure ~json (name, f) =
 let () =
   (* Registry timers default to CPU time; the bench reports wall clock. *)
   Tawa_obs.Registry.set_clock Unix.gettimeofday;
+  (* TAWA_ENGINE / TAWA_MODE / TAWA_CHECK / TAWA_STATCHECK are read
+     once here; the library no longer consults the environment. *)
+  Config.of_env ();
   let args = List.tl (Array.to_list Sys.argv) in
   let json = ref None and names = ref [] and domains = ref None in
   let rec parse = function
     | [] -> ()
     | "--json" :: rest -> (
-      json := Some "BENCH_PR6.json";
+      json := Some "BENCH_PR8.json";
       match rest with
       | path :: rest' when String.length path > 0 && path.[0] <> '-' && not (List.mem_assoc path all_figures) ->
         json := Some path;
@@ -917,6 +972,7 @@ let () =
   | None -> pr "\n[bench completed in %.1fs]\n" (Unix.gettimeofday () -. t0)
   | Some path ->
     let verify = verify_grid () in
+    let tune = autotune_report () in
     let cache_stats =
       List.fold_left
         (fun acc r ->
@@ -933,7 +989,7 @@ let () =
     let doc =
       Json.Obj
         [ ("schema", Json.Str "tawa-bench-trajectory/v1");
-          ("pr", Json.Int 6);
+          ("pr", Json.Int 8);
           ( "engine",
             Json.Str
               "decode-once closure-compiled CTA engine + event-driven scheduler, with \
@@ -971,6 +1027,7 @@ let () =
                  results) );
           ("functional_verification", verify);
           ("static_occupancy", static_occupancy ());
+          ("autotune", tune);
           ( "compile_cache",
             Json.Obj
               [ ("hits", Json.Int cache_stats.Tawa_machine.Progcache.hits);

@@ -19,27 +19,12 @@ let read_kernels path kernel_name =
   | None -> kernels
   | Some n -> List.filter (fun (k : Kernel.t) -> k.Kernel.name = n) kernels
 
-let options_of ~d ~p ~coop ~persistent ~coarse =
-  { Flow.aref_depth = d; mma_depth = p; num_consumer_wgs = coop; persistent;
-    use_coarse = coarse }
-
-type mode = Tawa_ws | Sw_pipeline of int | Naive
-
-let compile_one ~mode ~options (k : Kernel.t) =
-  match mode with
-  | Tawa_ws -> Flow.compile ~options k
-  | Sw_pipeline stages -> Flow.compile_sw_pipelined ~stages k
-  | Naive -> Flow.compile_naive k
-
 (* ---------------------------- compile ----------------------------- *)
 
 let do_compile path kernel_name d p coop persistent coarse sw naive dump_ir dump_asm check
     ids =
   try
-    let mode =
-      if naive then Naive else match sw with Some s -> Sw_pipeline s | None -> Tawa_ws
-    in
-    let options = options_of ~d ~p ~coop ~persistent ~coarse in
+    let options = Cli_args.options_of ~sw ~naive ~d ~p ~coop ~persistent ~coarse () in
     let kernels = read_kernels path kernel_name in
     if kernels = [] then begin
       Printf.eprintf "tawac: no kernels found\n";
@@ -48,7 +33,7 @@ let do_compile path kernel_name d p coop persistent coarse sw naive dump_ir dump
     let check_failed = ref false in
     List.iter
       (fun k ->
-        let c = compile_one ~mode ~options k in
+        let c = Flow.compile ~options k in
         Printf.printf "kernel @%s: %s%s, %d IR ops, %d instructions, %d B SMEM, %d mbarriers\n"
           k.Kernel.name
           (if c.Flow.warp_specialized then "warp-specialized" else "not specialized")
@@ -85,7 +70,7 @@ let do_compile path kernel_name d p coop persistent coarse sw naive dump_ir dump
 
 let do_check path kernel_name d p coop persistent coarse =
   try
-    let options = options_of ~d ~p ~coop ~persistent ~coarse in
+    let options = Cli_args.options_of ~d ~p ~coop ~persistent ~coarse () in
     let kernels = read_kernels path kernel_name in
     if kernels = [] then begin
       Printf.eprintf "tawac: no kernels found\n";
@@ -133,7 +118,7 @@ let diag_to_json (d : Tawa_analysis.Diagnostic.t) =
 
 let do_lint path kernel_name d p coop persistent coarse obs =
   try
-    let options = options_of ~d ~p ~coop ~persistent ~coarse in
+    let options = Cli_args.options_of ~d ~p ~coop ~persistent ~coarse () in
     let kernels = read_kernels path kernel_name in
     if kernels = [] then begin
       Printf.eprintf "tawac: no kernels found\n";
@@ -227,7 +212,7 @@ let occupancy_to_json (r : Tawa_analysis.Statcheck.report) =
 
 let do_occupancy path kernel_name d p coop persistent coarse obs =
   try
-    let options = options_of ~d ~p ~coop ~persistent ~coarse in
+    let options = Cli_args.options_of ~d ~p ~coop ~persistent ~coarse () in
     let kernels = read_kernels path kernel_name in
     if kernels = [] then begin
       Printf.eprintf "tawac: no kernels found\n";
@@ -332,28 +317,18 @@ let emit_profile ~obs ~kernel_name (t : Launch.timing) =
               ("cycles", Tawa_obs.Json.Float t.Launch.cycles);
               ("profile", Sim.profile_to_json prof) ]))
 
-(* Resolve the effective execution mode: explicit --mode wins, then
-   TAWA_MODE, then the command's default ([run] verifies functionally
-   by default; [profile] only needs cycles). *)
-let resolve_mode ~default = function
-  | Some m -> m
-  | None -> ( match Config.mode_of_env () with Some m -> m | None -> default)
-
 let do_run path kernel_name d p coop persistent coarse sw naive m n kk l engine obs
     emode =
   try
-    let mode =
-      if naive then Naive else match sw with Some s -> Sw_pipeline s | None -> Tawa_ws
-    in
-    let emode = resolve_mode ~default:Config.Functional emode in
+    let emode = Cli_args.resolve_mode ~default:Config.Functional emode in
     let functional = emode = Config.Functional in
-    let options = options_of ~d ~p ~coop ~persistent ~coarse in
+    let options = Cli_args.options_of ~sw ~naive ~d ~p ~coop ~persistent ~coarse () in
     let kernels = read_kernels path kernel_name in
     let cfg = { Config.functional_test with Config.engine } in
     let tcfg = { Config.h100 with Config.engine } in
     List.iter
       (fun k ->
-        let c = compile_one ~mode ~options k in
+        let c = Flow.compile ~options k in
         match classify_signature k with
         | `Gemm ->
           (* Infer the tile from the accumulator loads is overkill: run
@@ -456,11 +431,8 @@ let do_run path kernel_name d p coop persistent coarse sw naive m n kk l engine 
 let do_profile path kernel_name d p coop persistent coarse sw naive m n kk l engine obs
     trace_out emode =
   try
-    let mode =
-      if naive then Naive else match sw with Some s -> Sw_pipeline s | None -> Tawa_ws
-    in
-    let emode = resolve_mode ~default:Config.Timing emode in
-    let options = options_of ~d ~p ~coop ~persistent ~coarse in
+    let emode = Cli_args.resolve_mode ~default:Config.Timing emode in
+    let options = Cli_args.options_of ~sw ~naive ~d ~p ~coop ~persistent ~coarse () in
     let kernels = read_kernels path kernel_name in
     if kernels = [] then begin
       Printf.eprintf "tawac: no kernels found\n";
@@ -470,7 +442,7 @@ let do_profile path kernel_name d p coop persistent coarse sw naive m n kk l eng
     let unknown = ref false in
     List.iter
       (fun k ->
-        let c = compile_one ~mode ~options k in
+        let c = Flow.compile ~options k in
         let launch =
           match classify_signature k with
           | `Gemm ->
@@ -569,26 +541,169 @@ let do_profile path kernel_name d p coop persistent coarse sw naive m n kk l eng
     Printf.eprintf "tawac: simulation failed: %s\n" msg;
     1
 
+(* ---------------------------- autotune ----------------------------- *)
+
+let search_stats_to_json (r : Autotune.result) =
+  let open Tawa_obs.Json in
+  let s = r.Autotune.stats in
+  Obj
+    [ ("candidates", Int s.Autotune.total);
+      ("pruned", Int s.Autotune.pruned);
+      ( "prune_rate",
+        Float
+          (if s.Autotune.total = 0 then 0.0
+           else float_of_int s.Autotune.pruned /. float_of_int s.Autotune.total) );
+      ("measured", Int s.Autotune.measured);
+      ("from_store", Bool s.Autotune.from_store);
+      ("prune_fallback", Bool s.Autotune.prune_fallback);
+      ("wall_seconds", Float s.Autotune.wall_seconds);
+      ( "prune_reasons",
+        Obj (List.map (fun (why, n) -> (why, Int n)) r.Autotune.prune_reasons) ) ]
+
+let measurement_to_json (m : Autotune.measurement) =
+  let open Tawa_obs.Json in
+  let c = m.Autotune.candidate in
+  Obj
+    [ ("config", Str (Autotune.candidate_to_string c));
+      ("block_m", Int c.Autotune.tiles.Kernels.block_m);
+      ("block_n", Int c.Autotune.tiles.Kernels.block_n);
+      ("block_k", Int c.Autotune.tiles.Kernels.block_k);
+      ("aref_depth", Int c.Autotune.aref_depth);
+      ("mma_depth", Int c.Autotune.mma_depth);
+      ("coop", Int c.Autotune.coop);
+      ("persistent", Bool c.Autotune.persistent);
+      ("coarse", Bool c.Autotune.coarse);
+      ("strategy", Str (Flow.strategy_key c.Autotune.strategy));
+      ("tflops", Float m.Autotune.tflops);
+      ("cycles", Float m.Autotune.cycles) ]
+
+let do_autotune family m n kk l causal dtype store_path engine obs emode =
+  try
+    let emode = Cli_args.resolve_mode ~default:Config.Timing emode in
+    ignore emode; (* the search always measures in timing mode *)
+    let dtype =
+      match dtype with `F16 -> Dtype.F16 | `F8 -> Dtype.F8E4M3
+    in
+    let fam, desc =
+      match family with
+      | `Gemm ->
+        ( Autotune.Gemm { Workloads.m; n; k = kk; dtype },
+          Printf.sprintf "gemm %dx%dx%d %s" m n kk (Dtype.to_string dtype) )
+      | `Attention ->
+        ( Autotune.Attention
+            { Workloads.batch = 4; heads = 32; len = l; head_dim = 128; causal;
+              mha_dtype = dtype },
+          Printf.sprintf "attention L=%d%s %s" l
+            (if causal then " causal" else "")
+            (Dtype.to_string dtype) )
+    in
+    let store =
+      Option.map
+        (fun path -> Tawa_machine.Tunestore.open_ ~name:"tawac" ~path ())
+        store_path
+    in
+    let cfg = { Config.h100 with Config.engine } in
+    let r = Autotune.search ~cfg ?store fam in
+    let s = r.Autotune.stats in
+    let expert = Autotune.measure ~cfg fam (Autotune.expert fam) in
+    let best = r.Autotune.best in
+    let ratio =
+      if expert.Autotune.tflops > 0.0 then
+        best.Autotune.tflops /. expert.Autotune.tflops
+      else 0.0
+    in
+    (match obs with
+    | `Json ->
+      let open Tawa_obs.Json in
+      print_endline
+        (to_string
+           (Obj
+              ([ ("family", Str (Autotune.family_tag fam));
+                 ("workload", Str desc);
+                 ("store_key", Str (Autotune.store_key fam));
+                 ("search", search_stats_to_json r);
+                 ("best", measurement_to_json best);
+                 ("expert", measurement_to_json expert);
+                 ("tuned_vs_expert", Float ratio) ]
+              @
+              match store with
+              | None -> []
+              | Some st ->
+                let ss = Tawa_machine.Tunestore.stats st in
+                [ ( "store",
+                    Obj
+                      [ ("path", Str (Option.get store_path));
+                        ("entries", Int (Tawa_machine.Tunestore.length st));
+                        ("hits", Int ss.Tawa_machine.Tunestore.hits);
+                        ("misses", Int ss.Tawa_machine.Tunestore.misses);
+                        ("stores", Int ss.Tawa_machine.Tunestore.stores) ] ) ])))
+    | `Table ->
+      Printf.printf "autotune %s\n" desc;
+      if s.Autotune.from_store then
+        Printf.printf
+          "  served from the tuned-config store: 0 candidates measured\n"
+      else begin
+        Printf.printf
+          "  candidates %d   pruned %d (%.1f%%)   measured %d   wall %.2f s\n"
+          s.Autotune.total s.Autotune.pruned
+          (if s.Autotune.total = 0 then 0.0
+           else 100.0 *. float_of_int s.Autotune.pruned /. float_of_int s.Autotune.total)
+          s.Autotune.measured s.Autotune.wall_seconds;
+        List.iter
+          (fun (why, cnt) -> Printf.printf "    pruned %3d: %s\n" cnt why)
+          r.Autotune.prune_reasons;
+        if s.Autotune.prune_fallback then
+          Printf.printf
+          "  note: the static occupancy model rejected every candidate (it \
+           is conservative for this family); all candidates were measured\n"
+      end;
+      Printf.printf "  best:   %-42s %8.1f TFLOPS\n"
+        (Autotune.candidate_to_string best.Autotune.candidate)
+        best.Autotune.tflops;
+      Printf.printf "  expert: %-42s %8.1f TFLOPS   tuned/expert %.3fx\n"
+        (Autotune.candidate_to_string expert.Autotune.candidate)
+        expert.Autotune.tflops ratio;
+      match (store, store_path) with
+      | Some st, Some path ->
+        let ss = Tawa_machine.Tunestore.stats st in
+        Printf.printf "  store:  %s: %d entr%s (hits %d, misses %d, stores %d)\n"
+          path
+          (Tawa_machine.Tunestore.length st)
+          (if Tawa_machine.Tunestore.length st = 1 then "y" else "ies")
+          ss.Tawa_machine.Tunestore.hits ss.Tawa_machine.Tunestore.misses
+          ss.Tawa_machine.Tunestore.stores
+      | _ -> ());
+    if best.Autotune.tflops >= expert.Autotune.tflops then 0 else 0
+  with Sim.Sim_error msg ->
+    Printf.eprintf "tawac: simulation failed: %s\n" msg;
+    1
+
+let family_arg =
+  let family_conv = Arg.enum [ ("gemm", `Gemm); ("attention", `Attention) ] in
+  Arg.(value & opt family_conv `Gemm
+       & info [ "family" ] ~docv:"FAMILY"
+           ~doc:"Workload family to tune: $(b,gemm) (uses -m/-n/-k) or $(b,attention) \
+                 (uses -l and $(b,--causal)).")
+
+let causal_arg =
+  Arg.(value & flag & info [ "causal" ] ~doc:"Causal attention (attention family only).")
+
+let dtype_arg =
+  let dtype_conv = Arg.enum [ ("f16", `F16); ("f8", `F8) ] in
+  Arg.(value & opt dtype_conv `F16
+       & info [ "dtype" ] ~docv:"DTYPE" ~doc:"Element type: $(b,f16) or $(b,f8).")
+
+let store_arg =
+  Arg.(value & opt (some string) None
+       & info [ "store" ] ~docv:"PATH"
+           ~doc:"Persistent tuned-config store (TSV). A prior result for the same \
+                 kernel fingerprint and shape bucket is served without re-measuring; \
+                 fresh results are saved.")
+
 (* --------------------------- cmdliner ------------------------------ *)
 
-let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.tw")
-
-let kernel_arg =
-  Arg.(value & opt (some string) None & info [ "kernel" ] ~docv:"NAME" ~doc:"Only this kernel.")
-
-let d_arg = Arg.(value & opt int 2 & info [ "D"; "aref-depth" ] ~doc:"aref ring depth D.")
-let p_arg = Arg.(value & opt int 2 & info [ "P"; "mma-depth" ] ~doc:"MMA pipeline depth P.")
-let coop_arg = Arg.(value & opt int 1 & info [ "coop" ] ~doc:"Cooperative consumer warp groups.")
-let persistent_arg = Arg.(value & flag & info [ "persistent" ] ~doc:"Persistent kernel.")
-let coarse_arg = Arg.(value & flag & info [ "coarse" ] ~doc:"Coarse-grained T/C/U pipeline.")
-
-let sw_arg =
-  Arg.(value & opt (some int) None
-       & info [ "sw-pipeline" ] ~docv:"STAGES"
-           ~doc:"Compile with Ampere-style software pipelining (the Triton baseline) instead of warp specialization.")
-
-let naive_arg =
-  Arg.(value & flag & info [ "naive" ] ~doc:"Compile with synchronous naive loads (no asynchrony).")
+(* Shared flags live in {!Cli_args}; only the flags unique to one
+   subcommand are defined here. *)
 
 let dump_ir_arg = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the transformed IR.")
 let dump_asm_arg = Arg.(value & flag & info [ "dump-asm" ] ~doc:"Print the PTX-like machine code.")
@@ -605,67 +720,20 @@ let ids_arg =
            ~doc:"With $(b,--dump-ir), annotate every op with its stable id so arefcheck \
                  diagnostics can be correlated with the dump.")
 
-let m_arg = Arg.(value & opt int 64 & info [ "m" ] ~doc:"GEMM M.")
-let n_arg = Arg.(value & opt int 64 & info [ "n" ] ~doc:"GEMM N.")
-let k_arg = Arg.(value & opt int 64 & info [ "k" ] ~doc:"GEMM K.")
-let l_arg = Arg.(value & opt int 64 & info [ "l" ] ~doc:"Attention sequence length.")
-
-let engine_arg =
-  let engine_conv =
-    Arg.enum
-      [ ("reference", Some Config.Reference); ("decoded", Some Config.Decoded) ]
-  in
-  Arg.(value & opt engine_conv None
-       & info [ "engine" ] ~docv:"ENGINE"
-           ~doc:"Simulator execution engine: $(b,decoded) (closure-compiled, the default) \
-                 or $(b,reference) (tree-walking oracle). Unset defers to \\$(b,TAWA_ENGINE).")
-
-let mode_arg =
-  let mode_conv =
-    Arg.enum [ ("functional", Config.Functional); ("timing", Config.Timing) ]
-  in
-  Arg.(value & opt (some mode_conv) None
-       & info [ "mode" ] ~docv:"MODE"
-           ~doc:"Execution mode: $(b,functional) simulates the tile payload (and, under \
-                 $(b,run), verifies results against the CPU reference) while \
-                 $(b,timing) skips data movement whose values never reach an address, \
-                 predicate, or cost -- cycle-identical but much faster. Unset defers \
-                 to \\$(b,TAWA_MODE); $(b,run) defaults to functional, $(b,profile) \
-                 to timing.")
-
-let obs_conv = Arg.enum [ ("table", `Table); ("json", `Json) ]
-
-let obs_opt_arg =
-  Arg.(value & opt (some obs_conv) None
-       & info [ "obs" ] ~docv:"FORMAT"
-           ~doc:"Also print the CTA profile (stall attribution + channel occupancy) as \
-                 $(b,table) or $(b,json).")
-
-let obs_arg =
-  Arg.(value & opt obs_conv `Table
-       & info [ "obs" ] ~docv:"FORMAT"
-           ~doc:"Output format: $(b,table) (default) or $(b,json).")
-
-let trace_arg =
-  Arg.(value & opt (some string) None
-       & info [ "trace" ] ~docv:"PATH"
-           ~doc:"Write a Chrome trace-event JSON of one CTA's per-unit intervals to \
-                 $(docv) (load in Perfetto or chrome://tracing).")
-
 let compile_cmd =
   let doc = "compile tile kernels through the Tawa pipeline" in
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(
-      const do_compile $ file_arg $ kernel_arg $ d_arg $ p_arg $ coop_arg
-      $ persistent_arg $ coarse_arg $ sw_arg $ naive_arg $ dump_ir_arg $ dump_asm_arg
-      $ check_arg $ ids_arg)
+      const do_compile $ Cli_args.file $ Cli_args.kernel $ Cli_args.d $ Cli_args.p
+      $ Cli_args.coop $ Cli_args.persistent $ Cli_args.coarse $ Cli_args.sw
+      $ Cli_args.naive $ dump_ir_arg $ dump_asm_arg $ check_arg $ ids_arg)
 
 let check_cmd =
   let doc = "statically verify the aref protocol of compiled kernels (arefcheck)" in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
-      const do_check $ file_arg $ kernel_arg $ d_arg $ p_arg $ coop_arg $ persistent_arg
-      $ coarse_arg)
+      const do_check $ Cli_args.file $ Cli_args.kernel $ Cli_args.d $ Cli_args.p
+      $ Cli_args.coop $ Cli_args.persistent $ Cli_args.coarse)
 
 let lint_cmd =
   let doc =
@@ -674,8 +742,8 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(
-      const do_lint $ file_arg $ kernel_arg $ d_arg $ p_arg $ coop_arg $ persistent_arg
-      $ coarse_arg $ obs_arg)
+      const do_lint $ Cli_args.file $ Cli_args.kernel $ Cli_args.d $ Cli_args.p
+      $ Cli_args.coop $ Cli_args.persistent $ Cli_args.coarse $ Cli_args.obs)
 
 let occupancy_cmd =
   let doc =
@@ -684,16 +752,17 @@ let occupancy_cmd =
   in
   Cmd.v (Cmd.info "occupancy" ~doc)
     Term.(
-      const do_occupancy $ file_arg $ kernel_arg $ d_arg $ p_arg $ coop_arg
-      $ persistent_arg $ coarse_arg $ obs_arg)
+      const do_occupancy $ Cli_args.file $ Cli_args.kernel $ Cli_args.d $ Cli_args.p
+      $ Cli_args.coop $ Cli_args.persistent $ Cli_args.coarse $ Cli_args.obs)
 
 let run_cmd =
   let doc = "compile and execute kernels on the simulated H100" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const do_run $ file_arg $ kernel_arg $ d_arg $ p_arg $ coop_arg $ persistent_arg
-      $ coarse_arg $ sw_arg $ naive_arg $ m_arg $ n_arg $ k_arg $ l_arg $ engine_arg
-      $ obs_opt_arg $ mode_arg)
+      const do_run $ Cli_args.file $ Cli_args.kernel $ Cli_args.d $ Cli_args.p
+      $ Cli_args.coop $ Cli_args.persistent $ Cli_args.coarse $ Cli_args.sw
+      $ Cli_args.naive $ Cli_args.m () $ Cli_args.n () $ Cli_args.k () $ Cli_args.l ()
+      $ Cli_args.engine $ Cli_args.obs_opt $ Cli_args.mode)
 
 let profile_cmd =
   let doc =
@@ -702,15 +771,35 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
-      const do_profile $ file_arg $ kernel_arg $ d_arg $ p_arg $ coop_arg
-      $ persistent_arg $ coarse_arg $ sw_arg $ naive_arg $ m_arg $ n_arg $ k_arg $ l_arg
-      $ engine_arg $ obs_arg $ trace_arg $ mode_arg)
+      const do_profile $ Cli_args.file $ Cli_args.kernel $ Cli_args.d $ Cli_args.p
+      $ Cli_args.coop $ Cli_args.persistent $ Cli_args.coarse $ Cli_args.sw
+      $ Cli_args.naive $ Cli_args.m () $ Cli_args.n () $ Cli_args.k () $ Cli_args.l ()
+      $ Cli_args.engine $ Cli_args.obs $ Cli_args.trace $ Cli_args.mode)
+
+let autotune_cmd =
+  let doc =
+    "search the configuration space of a workload family (tile shape, aref depth D, \
+     MMA depth P, cooperative warp groups, persistence, coarse pipeline, lowering \
+     strategy): statically prune with the occupancy model, measure survivors on the \
+     timing simulator over the domain pool, and compare against the hand-scheduled \
+     expert config"
+  in
+  Cmd.v (Cmd.info "autotune" ~doc)
+    Term.(
+      const do_autotune $ family_arg $ Cli_args.m ~default:8192 ()
+      $ Cli_args.n ~default:8192 () $ Cli_args.k ~default:4096 ()
+      $ Cli_args.l ~default:4096 () $ causal_arg $ dtype_arg $ store_arg
+      $ Cli_args.engine $ Cli_args.obs $ Cli_args.mode)
 
 let () =
   (* Timers in --obs output should report wall clock, not CPU time. *)
   Tawa_obs.Registry.set_clock Unix.gettimeofday;
+  (* Env-derived defaults (TAWA_ENGINE/TAWA_MODE/TAWA_CHECK/TAWA_STATCHECK)
+     are applied once here; library code never reads the environment. *)
+  Config.of_env ();
   let doc = "Tawa: automatic warp specialization for (simulated) modern GPUs" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "tawac" ~doc ~version:"1.0.0")
-          [ compile_cmd; check_cmd; lint_cmd; occupancy_cmd; run_cmd; profile_cmd ]))
+          [ compile_cmd; check_cmd; lint_cmd; occupancy_cmd; run_cmd; profile_cmd;
+            autotune_cmd ]))

@@ -16,7 +16,7 @@ let check_config ~causal =
   let compiled =
     Flow.compile
       ~options:
-        { Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1; persistent = false;
+        { Flow.default_options with aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1; persistent = false;
           use_coarse = true }
       kernel
   in
@@ -66,7 +66,7 @@ let () =
       let nc =
         Flow.compile
           ~options:
-            { Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1;
+            { Flow.default_options with aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1;
               persistent = false; use_coarse = false }
           kernel
       in

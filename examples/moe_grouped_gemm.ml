@@ -20,7 +20,7 @@ let functional_batched () =
   let compiled =
     Flow.compile
       ~options:
-        { Flow.aref_depth = 2; mma_depth = 2; num_consumer_wgs = 1; persistent = false;
+        { Flow.default_options with aref_depth = 2; mma_depth = 2; num_consumer_wgs = 1; persistent = false;
           use_coarse = false }
       kernel
   in
@@ -59,7 +59,7 @@ let timing_grouped () =
             let compiled =
               Flow.compile
                 ~options:
-                  { Flow.aref_depth = 3; mma_depth = 2; num_consumer_wgs = 1;
+                  { Flow.default_options with aref_depth = 3; mma_depth = 2; num_consumer_wgs = 1;
                     persistent = false; use_coarse = false }
                 kernel
             in

@@ -25,7 +25,7 @@ let () =
   let compiled =
     Flow.compile
       ~options:
-        { Flow.aref_depth = 2; mma_depth = 2; num_consumer_wgs = 1; persistent = false;
+        { Flow.default_options with aref_depth = 2; mma_depth = 2; num_consumer_wgs = 1; persistent = false;
           use_coarse = false }
       kernel
   in

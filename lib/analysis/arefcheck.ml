@@ -7,9 +7,12 @@
     - {!check_program} runs the ISA-level analyses (mbarrier pairing,
       SMEM capacity) on codegen output.
 
-    [TAWA_CHECK=1] in the environment enables checking throughout the
-    compile flow without touching call sites; [assert_clean] converts
-    error diagnostics into a {!Check_failed} exception for CLI/pass use. *)
+    Checking is controlled by a process-wide switch ({!set_enabled} /
+    {!checking_enabled}), initialized from [TAWA_CHECK=1] in the
+    environment and re-applied by {!Tawa_gpusim.Config.of_env}: it
+    enables checking throughout the compile flow without touching call
+    sites. [assert_clean] converts error diagnostics into a
+    {!Check_failed} exception for CLI/pass use. *)
 
 exception Check_failed of string * Diagnostic.t list
 
@@ -37,7 +40,17 @@ let enabled_of = function
     | "" | "0" | "false" | "off" | "no" -> false
     | _ -> true)
 
-let enabled_via_env () = enabled_of (Sys.getenv_opt "TAWA_CHECK")
+(* Process-wide checking switch. Initialized from the environment at
+   module load so library-only embedders keep the old behavior;
+   {!Tawa_gpusim.Config.of_env} re-applies it at startup. *)
+let enabled : bool Atomic.t = Atomic.make (enabled_of (Sys.getenv_opt "TAWA_CHECK"))
+
+let set_enabled v = Atomic.set enabled v
+let checking_enabled () = Atomic.get enabled
+
+(** Deprecated alias of {!checking_enabled} (the switch is seeded from
+    [TAWA_CHECK], no longer read per call). *)
+let enabled_via_env = checking_enabled
 
 (** Raise {!Check_failed} if [diags] contains errors; return the
     warnings (callers may print them). *)

@@ -95,7 +95,7 @@ let gemm_fixed ~cfg ~(shape : Workloads.gemm_shape) ~tiles ~coop ~d ~p ~persiste
   let compiled =
     Flow.compile
       ~options:
-        { Flow.aref_depth = d; mma_depth = p; num_consumer_wgs = coop;
+        { Flow.default_options with aref_depth = d; mma_depth = p; num_consumer_wgs = coop;
           persistent; use_coarse = false }
       kernel
   in
@@ -159,7 +159,7 @@ let mha_ws ~cfg ~(shape : Workloads.mha_shape) ~d ~coarse () =
   let compiled =
     Flow.compile
       ~options:
-        { Flow.aref_depth = d; mma_depth = 1; num_consumer_wgs = 1; persistent = false;
+        { Flow.default_options with aref_depth = d; mma_depth = 1; num_consumer_wgs = 1; persistent = false;
           use_coarse = coarse }
       kernel
   in

@@ -7,17 +7,39 @@ open Tawa_ir
 open Tawa_passes
 open Tawa_machine
 
+(** How the kernel is lowered. [Warp_specialized] is the full Tawa
+    pipeline; the other three are the paper's baselines, previously
+    exposed as separate [compile_*] entry points:
+    - [Sw_pipelined stages] — Triton-style Ampere software pipelining
+      (no warp specialization);
+    - [Sync_tma] — synchronous TMA, loads wait immediately (no overlap);
+    - [Naive] — plain global loads (the Fig. 12 "w/o WS" ablation).
+    Folding the choice into {!options} lets callers — the autotuner in
+    particular — enumerate strategies through one entry point. *)
+type strategy =
+  | Warp_specialized
+  | Sw_pipelined of int
+  | Sync_tma
+  | Naive
+
+let strategy_key = function
+  | Warp_specialized -> "ws"
+  | Sw_pipelined stages -> Printf.sprintf "sw%d" stages
+  | Sync_tma -> "sync"
+  | Naive -> "naive"
+
 type options = {
   aref_depth : int;        (* D (§III-B) *)
   mma_depth : int;         (* P (§III-D.1) *)
   num_consumer_wgs : int;  (* cooperative consumer warp groups (§IV-A) *)
   persistent : bool;       (* persistent kernels (§IV-B) *)
   use_coarse : bool;       (* coarse-grained T/C/U pipeline (§III-D.2) *)
+  strategy : strategy;     (* lowering strategy; baselines ignore D/P/coop *)
 }
 
 let default_options =
   { aref_depth = 2; mma_depth = 2; num_consumer_wgs = 1; persistent = false;
-    use_coarse = false }
+    use_coarse = false; strategy = Warp_specialized }
 
 type compiled = {
   source : Kernel.t;            (* the frontend kernel, untouched *)
@@ -50,11 +72,11 @@ let cache_stats () = Progcache.stats cache
 let clear_cache () = Progcache.clear cache
 
 let options_key (o : options) =
-  Printf.sprintf "d%d.p%d.c%d.%b.%b" o.aref_depth o.mma_depth o.num_consumer_wgs
-    o.persistent o.use_coarse
+  Printf.sprintf "d%d.p%d.c%d.%b.%b.%s" o.aref_depth o.mma_depth
+    o.num_consumer_wgs o.persistent o.use_coarse (strategy_key o.strategy)
 
-let cache_key kernel ~entry ~opts =
-  Printf.sprintf "%s|%s|%s" (Progcache.kernel_fingerprint kernel) entry opts
+let cache_key kernel ~opts =
+  Printf.sprintf "%s|%s" (Progcache.kernel_fingerprint kernel) opts
 
 let hit kernel (e : cache_entry) options =
   {
@@ -73,77 +95,82 @@ let check_compiled (c : compiled) : Tawa_analysis.Diagnostic.t list =
   Tawa_analysis.Arefcheck.check_kernel c.transformed
   @ Tawa_analysis.Arefcheck.check_program c.program
 
-(* With [TAWA_CHECK] set, every compile — including cache hits, which
-   skip the pass manager's own checks — is verified end to end. *)
+(* With checking enabled ([TAWA_CHECK] via {!Tawa_gpusim.Config.of_env},
+   or {!Tawa_analysis.Arefcheck.set_enabled}), every compile — including
+   cache hits, which skip the pass manager's own checks — is verified
+   end to end. *)
 let maybe_env_check (c : compiled) =
-  if Tawa_analysis.Arefcheck.enabled_via_env () then
+  if Tawa_analysis.Arefcheck.checking_enabled () then
     ignore
       (Tawa_analysis.Arefcheck.assert_clean ~what:c.source.Kernel.name
          (check_compiled c));
   c
 
-(** Compile a frontend kernel through the full Tawa pipeline.
+let build_entry (options : options) (kernel : Kernel.t) : cache_entry =
+  match options.strategy with
+  | Warp_specialized ->
+    let mopts =
+      {
+        Manager.default_options with
+        aref_depth = options.aref_depth;
+        mma_depth = options.mma_depth;
+        num_consumer_wgs = options.num_consumer_wgs;
+        persistent = options.persistent;
+        use_coarse = options.use_coarse;
+      }
+    in
+    let r = Manager.compile ~options:mopts kernel in
+    let program = Codegen.lower r.Manager.kernel in
+    { e_transformed = r.Manager.kernel; e_program = program;
+      e_ws = r.Manager.warp_specialized; e_coarse = r.Manager.coarse }
+  | Sw_pipelined stages ->
+    let transformed = Sw_pipeline.apply ~stages kernel in
+    Verifier.verify transformed;
+    { e_transformed = transformed; e_program = Codegen.lower transformed;
+      e_ws = false; e_coarse = false }
+  | Sync_tma ->
+    { e_transformed = kernel; e_program = Codegen.lower kernel;
+      e_ws = false; e_coarse = false }
+  | Naive ->
+    { e_transformed = kernel;
+      e_program =
+        Codegen.lower
+          ~options:{ Codegen.default_options with load_style = Codegen.Ldg_naive }
+          kernel;
+      e_ws = false; e_coarse = false }
+
+(** Compile a frontend kernel with the strategy selected by
+    [options.strategy] (the full Tawa pipeline by default).
     Memoized on (kernel fingerprint, options): repeated compiles of a
-    structurally identical kernel return the cached program. *)
+    structurally identical kernel return the cached program; the
+    strategy participates in the key, so baselines never alias the
+    warp-specialized build. *)
 let compile ?(options = default_options) (kernel : Kernel.t) : compiled =
-  let key = cache_key kernel ~entry:"tawa" ~opts:(options_key options) in
-  let e =
-    Progcache.find_or_add cache ~key (fun () ->
-        let mopts =
-          {
-            Manager.default_options with
-            aref_depth = options.aref_depth;
-            mma_depth = options.mma_depth;
-            num_consumer_wgs = options.num_consumer_wgs;
-            persistent = options.persistent;
-            use_coarse = options.use_coarse;
-          }
-        in
-        let r = Manager.compile ~options:mopts kernel in
-        let program = Codegen.lower r.Manager.kernel in
-        { e_transformed = r.Manager.kernel; e_program = program;
-          e_ws = r.Manager.warp_specialized; e_coarse = r.Manager.coarse })
-  in
+  let key = cache_key kernel ~opts:(options_key options) in
+  let e = Progcache.find_or_add cache ~key (fun () -> build_entry options kernel) in
   maybe_env_check (hit kernel e options)
 
-(** Compile with the Triton-style Ampere software pipeline instead of
-    warp specialization (the paper's Triton baseline). *)
+(** Deprecated wrapper for [compile ~options:{... strategy = Sw_pipelined _}]:
+    the Triton-style Ampere software pipeline (the paper's Triton
+    baseline). [aref_depth] mirrors [stages] so reports keep showing
+    the pipeline depth. *)
 let compile_sw_pipelined ?(stages = 3) (kernel : Kernel.t) : compiled =
-  let key = cache_key kernel ~entry:"sw" ~opts:(string_of_int stages) in
-  let e =
-    Progcache.find_or_add cache ~key (fun () ->
-        let transformed = Sw_pipeline.apply ~stages kernel in
-        Verifier.verify transformed;
-        { e_transformed = transformed; e_program = Codegen.lower transformed;
-          e_ws = false; e_coarse = false })
-  in
-  maybe_env_check (hit kernel e { default_options with aref_depth = stages })
+  compile
+    ~options:
+      { default_options with strategy = Sw_pipelined stages; aref_depth = stages }
+    kernel
 
-(** Compile without any pipelining or asynchrony (naive global loads) —
-    the "w/o WS" baseline of the Fig. 12 ablation. *)
+(** Deprecated wrapper for [compile ~options:{... strategy = Naive}]:
+    no pipelining or asynchrony (naive global loads) — the "w/o WS"
+    baseline of the Fig. 12 ablation. *)
 let compile_naive (kernel : Kernel.t) : compiled =
-  let key = cache_key kernel ~entry:"naive" ~opts:"" in
-  let e =
-    Progcache.find_or_add cache ~key (fun () ->
-        { e_transformed = kernel;
-          e_program =
-            Codegen.lower
-              ~options:{ Codegen.default_options with load_style = Codegen.Ldg_naive }
-              kernel;
-          e_ws = false; e_coarse = false })
-  in
-  maybe_env_check (hit kernel e default_options)
+  compile ~options:{ default_options with strategy = Naive } kernel
 
-(** Compile without warp specialization but with synchronous TMA
-    (loads wait immediately; no overlap). *)
+(** Deprecated wrapper for [compile ~options:{... strategy = Sync_tma}]:
+    no warp specialization but synchronous TMA (loads wait immediately;
+    no overlap). *)
 let compile_sync_tma (kernel : Kernel.t) : compiled =
-  let key = cache_key kernel ~entry:"sync" ~opts:"" in
-  let e =
-    Progcache.find_or_add cache ~key (fun () ->
-        { e_transformed = kernel; e_program = Codegen.lower kernel;
-          e_ws = false; e_coarse = false })
-  in
-  maybe_env_check (hit kernel e default_options)
+  compile ~options:{ default_options with strategy = Sync_tma } kernel
 
 let dump_ir ?ids (c : compiled) = Printer.kernel_to_string ?ids c.transformed
 let dump_asm (c : compiled) = Isa.program_to_string c.program

@@ -12,9 +12,11 @@
       [test/test_engine.ml].
 
     Selection precedence: a forced override (bench harness) beats
-    [cfg.engine], which beats the [TAWA_ENGINE] environment variable
-    ("reference"/"ref"/"tree"/"interp" or "decoded"/"dec"/"closure"),
-    which beats the default (Decoded). [collect_trace] always forces
+    [cfg.engine], which beats the process-wide default
+    ({!Config.default_engine}, seeded from the [TAWA_ENGINE]
+    environment variable — "reference"/"ref"/"tree"/"interp" or
+    "decoded"/"dec"/"closure" — via {!Config.of_env}), which beats the
+    built-in default (Decoded). [collect_trace] always forces
     the reference engine — traces exist only in the oracle.
 
     Decoded programs are cached ({!Progcache}) keyed by program
@@ -123,15 +125,6 @@ let run_decoded ?(max_steps = 50_000_000) (ctx : Decode.ectx) : Sim.outcome =
 let forced : Config.engine option Atomic.t = Atomic.make None
 let set_forced e = Atomic.set forced e
 
-let env_engine () =
-  match Sys.getenv_opt "TAWA_ENGINE" with
-  | None -> None
-  | Some s -> (
-    match String.lowercase_ascii s with
-    | "reference" | "ref" | "tree" | "interp" -> Some Config.Reference
-    | "decoded" | "dec" | "closure" -> Some Config.Decoded
-    | _ -> None)
-
 let log_src = Logs.Src.create "tawa.engine" ~doc:"Engine selection"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
@@ -150,7 +143,9 @@ let resolve_untraced (cfg : Config.t) : Config.engine =
     match cfg.Config.engine with
     | Some e -> e
     | None -> (
-      match env_engine () with Some e -> e | None -> Config.Decoded))
+      match Config.default_engine () with
+      | Some e -> e
+      | None -> Config.Decoded))
 
 let resolve (cfg : Config.t) : Config.engine =
   if cfg.Config.collect_trace then begin

@@ -1,0 +1,120 @@
+(** Disk-backed store of tuned configurations, keyed by opaque strings
+    (the autotuner uses kernel fingerprint x shape bucket). The
+    counterpart of {!Progcache} for results that must survive the
+    process: a warm restart re-serves tuned configs with zero
+    re-measurement.
+
+    Format: a TSV file — a [# tawa tunestore v1] header line, then one
+    [key<TAB>value] entry per line, sorted by key so the file is a
+    deterministic function of its contents. Comment lines ([#]) and
+    malformed lines are skipped on load (a corrupt store degrades to
+    cold misses, never to a crash). Writes go through a temporary file
+    and [Sys.rename], so readers never observe a half-written store. *)
+
+type stats = { hits : int; misses : int; stores : int }
+
+type t = {
+  path : string;
+  table : (string, string) Hashtbl.t;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+}
+
+let header = "# tawa tunestore v1"
+
+let valid_field s =
+  s <> "" && not (String.exists (fun c -> c = '\t' || c = '\n' || c = '\r') s)
+
+let load_into table path =
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            if line <> "" && line.[0] <> '#' then
+              match String.index_opt line '\t' with
+              | Some i ->
+                let key = String.sub line 0 i in
+                let value = String.sub line (i + 1) (String.length line - i - 1) in
+                if valid_field key && valid_field value then
+                  Hashtbl.replace table key value
+              | None -> ()
+          done
+        with End_of_file -> ())
+  end
+
+(** Open (creating lazily on first {!put}) the store at [path].
+    [name] labels the registry gauges
+    [tunestore.<name>.{hits,misses,stores,entries}]. *)
+let open_ ?(name = "default") ~path () =
+  let t =
+    { path; table = Hashtbl.create 32; lock = Mutex.create ();
+      hits = 0; misses = 0; stores = 0 }
+  in
+  load_into t.table path;
+  let gauge suffix f =
+    Tawa_obs.Registry.register_gauge
+      (Printf.sprintf "tunestore.%s.%s" name suffix)
+      (fun () -> Tawa_obs.Registry.Int (f ()))
+  in
+  gauge "hits" (fun () -> t.hits);
+  gauge "misses" (fun () -> t.misses);
+  gauge "stores" (fun () -> t.stores);
+  gauge "entries" (fun () -> Hashtbl.length t.table);
+  t
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find (t : t) ~key : string option =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some v ->
+        t.hits <- t.hits + 1;
+        Some v
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+(* Serialize under the lock. Concurrent processes saving the same
+   store race only at the (atomic) rename, last writer wins — the
+   store is a cache, not a ledger. *)
+let save_locked (t : t) =
+  let entries =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let tmp = t.path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc header;
+     output_char oc '\n';
+     List.iter (fun (k, v) -> Printf.fprintf oc "%s\t%s\n" k v) entries;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp t.path
+
+(** Insert or replace [key] and persist the whole store atomically. *)
+let put (t : t) ~key value =
+  if not (valid_field key) then
+    invalid_arg (Printf.sprintf "Tunestore.put: invalid key %S" key);
+  if not (valid_field value) then
+    invalid_arg (Printf.sprintf "Tunestore.put: invalid value %S" value);
+  locked t (fun () ->
+      Hashtbl.replace t.table key value;
+      t.stores <- t.stores + 1;
+      save_locked t)
+
+let length (t : t) = locked t (fun () -> Hashtbl.length t.table)
+
+let stats (t : t) : stats =
+  locked t (fun () -> { hits = t.hits; misses = t.misses; stores = t.stores })

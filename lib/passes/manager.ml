@@ -78,7 +78,7 @@ let compile ?(options = default_options) (kernel : Kernel.t) : result =
     last := Tawa_obs.Registry.now ();
     k
   in
-  let checking = options.check || Tawa_analysis.Arefcheck.enabled_via_env () in
+  let checking = options.check || Tawa_analysis.Arefcheck.checking_enabled () in
   let arefcheck stage k =
     if checking then
       ignore
@@ -130,7 +130,7 @@ let compile ?(options = default_options) (kernel : Kernel.t) : result =
      occupancy verdict. Warn by default so a lossy-but-working kernel
      still compiles; TAWA_STATCHECK=error gates the compile on a clean
      report, TAWA_STATCHECK=off skips the analysis entirely. *)
-  (match Tawa_analysis.Statcheck.mode_of_env () with
+  (match Tawa_analysis.Statcheck.current_mode () with
   | Tawa_analysis.Statcheck.Off -> ()
   | Tawa_analysis.Statcheck.Warn ->
     List.iter

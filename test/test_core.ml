@@ -39,7 +39,7 @@ let test_flow_attention_coarse () =
   let c =
     Flow.compile
       ~options:
-        { Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1; persistent = false;
+        { Flow.default_options with aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1; persistent = false;
           use_coarse = true }
       (Kernels.attention ~block_m:16 ~block_n:16 ~head_dim:8 ())
   in
@@ -72,7 +72,7 @@ let test_flow_all_paths_agree () =
       ( "persistent+coop",
         Flow.compile
           ~options:
-            { Flow.aref_depth = 3; mma_depth = 2; num_consumer_wgs = 2; persistent = true;
+            { Flow.default_options with aref_depth = 3; mma_depth = 2; num_consumer_wgs = 2; persistent = true;
               use_coarse = false }
           kernel ) ]
 
@@ -189,7 +189,7 @@ let test_tune_picks_feasible_best () =
   let weak =
     Autotune.measure_gemm ~cfg:Config.h100 shape
       { Autotune.tiles = small_tiles; aref_depth = 1; mma_depth = 1; coop = 1;
-        persistent = false }
+        persistent = false; coarse = false; strategy = Flow.Warp_specialized }
   in
   Alcotest.(check bool) "beats weak config" true
     (best.Autotune.tflops >= weak.Autotune.tflops)

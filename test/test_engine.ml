@@ -428,7 +428,7 @@ let fuzz_compiles (s : Test_fuzz.spec) =
     ( "persistent",
       Flow.compile
         ~options:
-          { Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1; persistent = true;
+          { Flow.default_options with aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1; persistent = true;
             use_coarse = false } ) ]
   |> List.map (fun (name, f) -> (name, f (Test_fuzz.build_kernel s)))
 
@@ -451,7 +451,7 @@ let test_attention_diff () =
   let compiled =
     Flow.compile
       ~options:
-        { Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1; persistent = false;
+        { Flow.default_options with aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1; persistent = false;
           use_coarse = true }
       kernel
   in
@@ -480,7 +480,7 @@ let test_coop_diff () =
   let compiled =
     Flow.compile
       ~options:
-        { Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 2; persistent = false;
+        { Flow.default_options with aref_depth = 2; mma_depth = 1; num_consumer_wgs = 2; persistent = false;
           use_coarse = false }
       (Tawa_frontend.Kernels.gemm ~tiles ())
   in

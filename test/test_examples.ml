@@ -17,7 +17,7 @@ let load name =
 let compile ?(coarse = false) kernel =
   Tawa_core.Flow.compile
     ~options:
-      { Tawa_core.Flow.aref_depth = 2; mma_depth = 2; num_consumer_wgs = 1;
+      { Tawa_core.Flow.default_options with aref_depth = 2; mma_depth = 2; num_consumer_wgs = 1;
         persistent = false; use_coarse = coarse }
     kernel
 

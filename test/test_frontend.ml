@@ -235,7 +235,7 @@ let test_dsl_kernel_through_full_pipeline () =
     let compiled =
       Tawa_core.Flow.compile
         ~options:
-          { Tawa_core.Flow.aref_depth = 2; mma_depth = 2; num_consumer_wgs = 1;
+          { Tawa_core.Flow.default_options with aref_depth = 2; mma_depth = 2; num_consumer_wgs = 1;
             persistent = false; use_coarse = false }
         k
     in

@@ -155,7 +155,7 @@ let check_spec ?(grid_m = 2) ?(grid_n = 2) (s : spec) compile_fn =
 let ws_compile ~d ~p kernel =
   Tawa_core.Flow.compile
     ~options:
-      { Tawa_core.Flow.aref_depth = d; mma_depth = p; num_consumer_wgs = 1;
+      { Tawa_core.Flow.default_options with aref_depth = d; mma_depth = p; num_consumer_wgs = 1;
         persistent = false; use_coarse = false }
     kernel
 
@@ -183,7 +183,7 @@ let prop_fuzz_persistent =
       check_spec s (fun kernel ->
           Tawa_core.Flow.compile
             ~options:
-              { Tawa_core.Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1;
+              { Tawa_core.Flow.default_options with aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1;
                 persistent = true; use_coarse = false }
             kernel))
 

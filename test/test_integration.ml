@@ -16,7 +16,7 @@ let cfg = Config.functional_test
 let compile ?(d = 2) ?(p = 2) ?(coop = 1) ?(persistent = false) ?(coarse = false) kernel =
   Tawa_core.Flow.compile
     ~options:
-      { Tawa_core.Flow.aref_depth = d; mma_depth = p; num_consumer_wgs = coop;
+      { Tawa_core.Flow.default_options with aref_depth = d; mma_depth = p; num_consumer_wgs = coop;
         persistent; use_coarse = coarse }
     kernel
 

@@ -29,7 +29,7 @@ let small_tiles = { Tawa_frontend.Kernels.block_m = 16; block_n = 16; block_k = 
 let compile ?(d = 2) ?(p = 2) ?(coop = 1) ?(persistent = false) ?(coarse = false) k =
   Flow.compile
     ~options:
-      { Flow.aref_depth = d; mma_depth = p; num_consumer_wgs = coop; persistent;
+      { Flow.default_options with aref_depth = d; mma_depth = p; num_consumer_wgs = coop; persistent;
         use_coarse = coarse }
     k
 

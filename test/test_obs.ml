@@ -414,7 +414,7 @@ let test_trace_from_sim () =
   let compiled =
     Flow.compile
       ~options:
-        { Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1; persistent = false;
+        { Flow.default_options with aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1; persistent = false;
           use_coarse = false }
       (Tawa_frontend.Kernels.gemm ~tiles ())
   in
@@ -482,7 +482,7 @@ let ws_gemm ?(persistent = false) ?(coop = 1) ?(d = 2) ?(p = 1) () =
   let tiles = { Tawa_frontend.Kernels.block_m = 16; block_n = 16; block_k = 8 } in
   Flow.compile
     ~options:
-      { Flow.aref_depth = d; mma_depth = p; num_consumer_wgs = coop; persistent;
+      { Flow.default_options with aref_depth = d; mma_depth = p; num_consumer_wgs = coop; persistent;
         use_coarse = false }
     (Tawa_frontend.Kernels.gemm ~tiles ())
 
@@ -505,7 +505,7 @@ let test_profile_diff_attention () =
   let compiled =
     Flow.compile
       ~options:
-        { Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1; persistent = false;
+        { Flow.default_options with aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1; persistent = false;
           use_coarse = true }
       (Tawa_frontend.Kernels.attention ~block_m:16 ~block_n:16 ~head_dim:8 ())
   in

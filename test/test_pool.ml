@@ -156,7 +156,7 @@ let run_attention_grid () =
   let c =
     Flow.compile
       ~options:
-        { Flow.aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1; persistent = false;
+        { Flow.default_options with aref_depth = 2; mma_depth = 1; num_consumer_wgs = 1; persistent = false;
           use_coarse = true }
       kernel
   in

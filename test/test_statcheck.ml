@@ -16,7 +16,7 @@ open Tawa_core
 let small_tiles = { Kernels.block_m = 16; block_n = 16; block_k = 8 }
 
 let flow_opts ?(d = 2) ?(p = 2) ?(coop = 1) ?(persistent = false) ?(coarse = false) () =
-  { Flow.aref_depth = d; mma_depth = p; num_consumer_wgs = coop; persistent;
+  { Flow.default_options with aref_depth = d; mma_depth = p; num_consumer_wgs = coop; persistent;
     use_coarse = coarse }
 
 let compile ?d ?p ?coop ?persistent ?coarse k =

@@ -8,7 +8,7 @@
 
    Flags:
      --json [PATH]   also write a machine-readable trajectory record
-                     (default PATH: BENCH_PR8.json). Each selected
+                     (default PATH: BENCH_PR9.json). Each selected
                      figure is timed three times: the tree-walking
                      reference engine on 1 domain, the decoded
                      (closure-compiled) engine on 1 domain — isolating
@@ -867,6 +867,100 @@ let autotune_report () =
          ("mha_fp16", Autotune.Attention (Workloads.paper_mha 4096)) ])
 
 (* ------------------------------------------------------------------ *)
+(* Task-graph execution: wave overlap + decode-once replay             *)
+(* ------------------------------------------------------------------ *)
+
+(* Each demo graph runs twice from bit-identical inputs: through the
+   wave scheduler (instantiate once, replay N times) and through the
+   serialized one-launch-per-node path. Reported per demo: the
+   simulated wave-overlap speedup (launch overheads amortized per wave,
+   CTAs of a wave packed into the same SM rounds — deterministic, from
+   the same cost model as the figures), the measured cold-instantiate
+   vs warm-replay wall clock (cold pays compile + decode + footprint
+   for every node; replay pays none), honest wall-clock for both
+   execution paths on this host, and the bit-identity verdict. The
+   domain pool is pinned to >= 2 so wave batches actually share a
+   dispatch. *)
+let graph_one (name, title, build) =
+  let module Graph = Tawa_graph.Graph in
+  let module Gallery = Tawa_graph.Gallery in
+  Flow.clear_cache ();
+  Tawa_gpusim.Engine.clear_decode_cache ();
+  let t0 = Unix.gettimeofday () in
+  let demo = build () in
+  let inst = Graph.instantiate demo.Gallery.d_graph in
+  let first = Graph.replay inst in
+  let cold = Unix.gettimeofday () -. t0 in
+  let replays = 5 in
+  let warm =
+    List.fold_left
+      (fun acc (r : Graph.run) -> Float.min acc r.Graph.r_seconds)
+      first.Graph.r_seconds
+      (List.init replays (fun _ -> Graph.replay inst))
+  in
+  let demo_s = build () in
+  let inst_s = Graph.instantiate demo_s.Gallery.d_graph in
+  let serial = Graph.run_serial inst_s in
+  let outcomes_equal =
+    List.for_all2
+      (fun (_, got) (_, want) -> Tensor.equal got want)
+      demo.Gallery.d_outputs demo_s.Gallery.d_outputs
+    && Array.for_all2
+         (fun (a : Graph.node_result) (b : Graph.node_result) ->
+           a.Graph.nr_cycles = b.Graph.nr_cycles
+           && a.Graph.nr_cta_cycles = b.Graph.nr_cta_cycles)
+         first.Graph.r_nodes serial.Graph.r_nodes
+  in
+  let model = Graph.overlap_model inst first in
+  pr "  %-10s %d nodes / %d waves   overlap %.2fx   replay warm/cold %.2fx   %s\n"
+    name
+    (Graph.num_nodes demo.Gallery.d_graph)
+    (Graph.num_waves demo.Gallery.d_graph)
+    model.Graph.m_speedup
+    (if warm > 0.0 then cold /. warm else 1.0)
+    (if outcomes_equal then "bit-identical" else "DIVERGES");
+  ( name,
+    Json.Obj
+      [ ("title", Json.Str title);
+        ("nodes", Json.Int (Graph.num_nodes demo.Gallery.d_graph));
+        ("waves", Json.Int (Graph.num_waves demo.Gallery.d_graph));
+        ("serial_cycles", Json.Float model.Graph.m_serial_cycles);
+        ("graph_cycles", Json.Float model.Graph.m_graph_cycles);
+        ("simulated_speedup", Json.Float model.Graph.m_speedup);
+        ("cold_instantiate_seconds", Json.Float cold);
+        ("warm_replay_seconds", Json.Float warm);
+        ( "replay_speedup",
+          Json.Float (if warm > 0.0 then cold /. warm else 1.0) );
+        ("serial_wall_seconds", Json.Float serial.Graph.r_seconds);
+        ("graph_wall_seconds", Json.Float first.Graph.r_seconds);
+        ( "wall_speedup",
+          Json.Float
+            (if first.Graph.r_seconds > 0.0 then
+               serial.Graph.r_seconds /. first.Graph.r_seconds
+             else 1.0) );
+        ("outcomes_equal", Json.Bool outcomes_equal);
+        ( "per_wave",
+          Json.List
+            (Array.to_list
+               (Array.map
+                  (fun (w : Graph.wave_model) ->
+                    Json.Obj
+                      [ ("wave", Json.Int w.Graph.wm_wave);
+                        ("ctas", Json.Int w.Graph.wm_ctas);
+                        ("sm_rounds", Json.Int w.Graph.wm_sm_waves);
+                        ("occupancy", Json.Float w.Graph.wm_occupancy) ])
+                  model.Graph.m_waves)) ) ] )
+
+let graph_report () =
+  section "Task graphs: wave overlap + decode-once replay";
+  let saved = Pool.default_domains () in
+  Pool.set_default_domains (Some (max 2 saved));
+  let domains = Pool.default_domains () in
+  let demos = List.map graph_one Tawa_graph.Gallery.all in
+  Pool.set_default_domains (Some saved);
+  Json.Obj (("pool_domains", Json.Int domains) :: demos)
+
+(* ------------------------------------------------------------------ *)
 
 let all_figures =
   [ ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
@@ -941,7 +1035,7 @@ let () =
   let rec parse = function
     | [] -> ()
     | "--json" :: rest -> (
-      json := Some "BENCH_PR8.json";
+      json := Some "BENCH_PR9.json";
       match rest with
       | path :: rest' when String.length path > 0 && path.[0] <> '-' && not (List.mem_assoc path all_figures) ->
         json := Some path;
@@ -973,6 +1067,7 @@ let () =
   | Some path ->
     let verify = verify_grid () in
     let tune = autotune_report () in
+    let graph = graph_report () in
     let cache_stats =
       List.fold_left
         (fun acc r ->
@@ -989,7 +1084,7 @@ let () =
     let doc =
       Json.Obj
         [ ("schema", Json.Str "tawa-bench-trajectory/v1");
-          ("pr", Json.Int 8);
+          ("pr", Json.Int 9);
           ( "engine",
             Json.Str
               "decode-once closure-compiled CTA engine + event-driven scheduler, with \
@@ -1028,6 +1123,7 @@ let () =
           ("functional_verification", verify);
           ("static_occupancy", static_occupancy ());
           ("autotune", tune);
+          ("graph", graph);
           ( "compile_cache",
             Json.Obj
               [ ("hits", Json.Int cache_stats.Tawa_machine.Progcache.hits);

@@ -83,6 +83,20 @@ let trace =
            ~doc:"Write a Chrome trace-event JSON of one CTA's per-unit intervals to \
                  $(docv) (load in Perfetto or chrome://tracing).")
 
+let demo =
+  Arg.(value & opt string "all"
+       & info [ "demo" ] ~docv:"NAME"
+           ~doc:"Demo graph to execute: $(b,attention) (QKV projections, attention, \
+                 output projection), $(b,splitk) (partial GEMMs + reduction epilogue), \
+                 $(b,moe) (independent expert GEMMs), or $(b,all) (default).")
+
+let replays =
+  Arg.(value & opt int 3
+       & info [ "replays" ] ~docv:"N"
+           ~doc:"Replay the instantiated graph $(docv) times (default 3); the decode \
+                 and compile caches are only consulted during instantiate, never \
+                 during replay.")
+
 (* ------------------------- flag resolution ------------------------ *)
 
 (** Lowering strategy from the --sw-pipeline / --naive flags. *)

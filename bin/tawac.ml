@@ -700,6 +700,181 @@ let store_arg =
                  kernel fingerprint and shape bucket is served without re-measuring; \
                  fresh results are saved.")
 
+(* ----------------------------- graph ------------------------------- *)
+
+(* Execute the demo task graphs through the wave scheduler: instantiate
+   once (compile + decode + tunestore lookup per node), replay N times
+   against the shared domain pool, and verify bit-identically against
+   the serialized one-launch-per-node path. *)
+
+let graph_verify_tol = 2e-2
+
+let do_graph demo_name replays store_path obs trace_path =
+  try
+    let module Graph = Tawa_graph.Graph in
+    let module Gallery = Tawa_graph.Gallery in
+    let store =
+      Option.map
+        (fun path -> Tawa_machine.Tunestore.open_ ~name:"tawac" ~path ())
+        store_path
+    in
+    let demos =
+      if demo_name = "all" then Gallery.all
+      else
+        match
+          List.find_opt (fun (n, _, _) -> n = demo_name) Gallery.all
+        with
+        | Some d -> [ d ]
+        | None ->
+          Printf.eprintf "tawac: unknown demo %s (have: %s)\n" demo_name
+            (String.concat ", " (List.map (fun (n, _, _) -> n) Gallery.all));
+          exit 1
+    in
+    let replays = max 1 replays in
+    let failed = ref false in
+    let sections =
+      List.map
+        (fun (name, title, build) ->
+          let demo = build () in
+          let t0 = Unix.gettimeofday () in
+          let inst = Graph.instantiate ?store demo.Gallery.d_graph in
+          let first = Graph.replay inst in
+          let cold = Unix.gettimeofday () -. t0 in
+          let runs = List.init (replays - 1) (fun _ -> Graph.replay inst) in
+          let warm =
+            List.fold_left
+              (fun acc (r : Graph.run) -> Float.min acc r.Graph.r_seconds)
+              first.Graph.r_seconds runs
+          in
+          (* An independent build of the same demo (same seeds) down the
+             serialized path: per-node launches, no wave batching. *)
+          let demo_s = build () in
+          let inst_s = Graph.instantiate ?store demo_s.Gallery.d_graph in
+          let serial = Graph.run_serial inst_s in
+          let identical =
+            List.for_all2
+              (fun (_, got) (_, want) -> Tensor.equal got want)
+              demo.Gallery.d_outputs demo_s.Gallery.d_outputs
+          in
+          let rel = Gallery.check demo in
+          let ok = identical && rel < graph_verify_tol in
+          if not ok then failed := true;
+          let model = Graph.overlap_model inst first in
+          (match trace_path with
+          | None -> ()
+          | Some path ->
+            let path =
+              if demo_name = "all" then
+                let base = Filename.remove_extension path in
+                let ext = Filename.extension path in
+                Printf.sprintf "%s-%s%s" base name ext
+              else path
+            in
+            Tawa_obs.Trace.to_file path (Graph.trace_events inst first);
+            if obs = `Table then Printf.printf "wrote %s\n" path);
+          (name, title, demo, inst, first, serial, cold, warm, model, identical,
+           rel, ok))
+        demos
+    in
+    (match obs with
+    | `Json ->
+      let open Tawa_obs.Json in
+      print_endline
+        (to_string
+           (Obj
+              (List.map
+                 (fun ( name, title, _demo, inst, first, serial, cold, warm,
+                        model, identical, rel, ok ) ->
+                   ( name,
+                     Obj
+                       [ ("title", Str title);
+                         ("nodes", Int (Graph.num_nodes inst.Graph.graph));
+                         ( "edges",
+                           Int (List.length inst.Graph.graph.Graph.edges) );
+                         ("waves", Int (Graph.num_waves inst.Graph.graph));
+                         ("replays", Int replays);
+                         ("cold_seconds", Float cold);
+                         ("warm_seconds", Float warm);
+                         ( "replay_speedup",
+                           Float (if warm > 0.0 then cold /. warm else 1.0) );
+                         ("serial_wall_seconds", Float serial.Graph.r_seconds);
+                         ("graph_wall_seconds", Float first.Graph.r_seconds);
+                         ("model_serial_cycles", Float model.Graph.m_serial_cycles);
+                         ("model_graph_cycles", Float model.Graph.m_graph_cycles);
+                         ("model_speedup", Float model.Graph.m_speedup);
+                         ( "per_wave",
+                           List
+                             (Array.to_list
+                                (Array.map
+                                   (fun (w : Graph.wave_model) ->
+                                     Obj
+                                       [ ("wave", Int w.Graph.wm_wave);
+                                         ("ctas", Int w.Graph.wm_ctas);
+                                         ("sm_rounds", Int w.Graph.wm_sm_waves);
+                                         ("cycles", Float w.Graph.wm_cycles);
+                                         ("occupancy", Float w.Graph.wm_occupancy) ])
+                                   model.Graph.m_waves)) );
+                         ("outputs_bit_identical_to_serial", Bool identical);
+                         ("max_rel_diff_vs_reference", Float rel);
+                         ("verified", Bool ok) ] ))
+                 sections)))
+    | `Table ->
+      List.iter
+        (fun ( name, title, demo, inst, first, serial, cold, warm, model,
+               identical, rel, ok ) ->
+          Printf.printf "graph %s: %s\n  %s\n" name title
+            (Graph.summary demo.Gallery.d_graph);
+          Array.iter
+            (fun (w : Graph.wave_model) ->
+              let members =
+                first.Graph.r_waves.(w.Graph.wm_wave).Graph.wr_nodes
+              in
+              Printf.printf
+                "  wave %d: %-34s %4d CTAs  %d SM round%s  occupancy %.2f\n"
+                w.Graph.wm_wave
+                (String.concat " "
+                   (Array.to_list
+                      (Array.map
+                         (fun ni ->
+                           let nr = first.Graph.r_nodes.(ni) in
+                           if Graph.node_tuned inst ni then
+                             nr.Graph.nr_name ^ "*"
+                           else nr.Graph.nr_name)
+                         members)))
+                w.Graph.wm_ctas w.Graph.wm_sm_waves
+                (if w.Graph.wm_sm_waves = 1 then "" else "s")
+                w.Graph.wm_occupancy)
+            model.Graph.m_waves;
+          Printf.printf
+            "  model: serial %.0f cycles, graph %.0f cycles, overlap speedup %.2fx\n"
+            model.Graph.m_serial_cycles model.Graph.m_graph_cycles
+            model.Graph.m_speedup;
+          Printf.printf
+            "  wall:  instantiate+first replay %.4f s, warm replay %.4f s \
+             (best of %d), serial path %.4f s\n"
+            cold warm replays serial.Graph.r_seconds;
+          (match store with
+          | None -> ()
+          | Some _ ->
+            let tuned =
+              List.filter (Graph.node_tuned inst)
+                (List.init (Graph.num_nodes inst.Graph.graph) Fun.id)
+            in
+            Printf.printf "  store: %d node%s auto-configured (*)\n"
+              (List.length tuned)
+              (if List.length tuned = 1 then "" else "s"));
+          Printf.printf
+            "  verify: %s serialized path, max rel diff vs CPU reference \
+             %.2e  [%s]\n"
+            (if identical then "bit-identical to" else "DIVERGES from")
+            rel
+            (if ok then "ok" else "FAIL"))
+        sections);
+    if !failed then 1 else 0
+  with Sim.Sim_error msg ->
+    Printf.eprintf "tawac: simulation failed: %s\n" msg;
+    1
+
 (* --------------------------- cmdliner ------------------------------ *)
 
 (* Shared flags live in {!Cli_args}; only the flags unique to one
@@ -791,6 +966,18 @@ let autotune_cmd =
       $ Cli_args.l ~default:4096 () $ causal_arg $ dtype_arg $ store_arg
       $ Cli_args.engine $ Cli_args.obs $ Cli_args.mode)
 
+let graph_cmd =
+  let doc =
+    "execute multi-kernel task graphs: infer tensor dependencies from kernel \
+     read/write sets, batch ready nodes into waves over the shared domain pool, \
+     replay the decoded graph without re-compiling or re-decoding, and verify \
+     bit-identically against serialized launches"
+  in
+  Cmd.v (Cmd.info "graph" ~doc)
+    Term.(
+      const do_graph $ Cli_args.demo $ Cli_args.replays $ store_arg
+      $ Cli_args.obs $ Cli_args.trace)
+
 let () =
   (* Timers in --obs output should report wall clock, not CPU time. *)
   Tawa_obs.Registry.set_clock Unix.gettimeofday;
@@ -802,4 +989,4 @@ let () =
     (Cmd.eval'
        (Cmd.group (Cmd.info "tawac" ~doc ~version:"1.0.0")
           [ compile_cmd; check_cmd; lint_cmd; occupancy_cmd; run_cmd; profile_cmd;
-            autotune_cmd ]))
+            autotune_cmd; graph_cmd ]))

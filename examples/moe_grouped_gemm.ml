@@ -73,7 +73,13 @@ let timing_grouped () =
         List.fold_left
           (fun (cy, fl) (s : Workloads.gemm_shape) ->
             let kernel = Kernels.gemm ~tiles:paper_tiles ~dtype:s.Workloads.dtype () in
-            let compiled = Flow.compile_sw_pipelined ~stages:3 kernel in
+            let compiled =
+              Flow.compile
+                ~options:
+                  { Flow.default_options with strategy = Flow.Sw_pipelined 3;
+                    aref_depth = 3 }
+                kernel
+            in
             let grid, params = Workloads.gemm_launch s ~tiles:paper_tiles in
             let t =
               Launch.estimate ~cfg:Config.h100 compiled.Flow.program ~params ~grid

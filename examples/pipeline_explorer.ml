@@ -67,7 +67,11 @@ let () =
 
   (* The same kernel WITHOUT warp specialization, for contrast. *)
   print_endline "\n== Same GEMM without warp specialization (synchronous TMA) ==\n";
-  let sync = Flow.compile_sync_tma (Kernels.gemm ~tiles ()) in
+  let sync =
+    Flow.compile
+      ~options:{ Flow.default_options with strategy = Flow.Sync_tma }
+      (Kernels.gemm ~tiles ())
+  in
   let cta2 =
     Sim.create ~cfg ~program:sync.Flow.program
       ~params:[ Sim.Rnone; Sim.Rnone; Sim.Rnone; Sim.Rint 8192; Sim.Rint 8192; Sim.Rint k ]

@@ -321,6 +321,16 @@ let decode_measurement (s : string) : measurement option =
     | _ -> None)
   | _ -> None
 
+(** The tuned winner a warm store holds for [family], or [None] on a
+    cold store (or a corrupt entry — same recovery as {!search}). This
+    is the read-only half of the store protocol: the task-graph layer
+    uses it at instantiate time to auto-configure nodes without running
+    a search. *)
+let stored_best ~(store : Tunestore.t) (family : family) : measurement option =
+  match Tunestore.find store ~key:(store_key family) with
+  | None -> None
+  | Some line -> decode_measurement line
+
 (* ------------------------------ search ---------------------------- *)
 
 type search_stats = {

@@ -107,6 +107,39 @@ let queue_of_list tiles =
 
 let no_queue () = -1
 
+(** The independent work units of one launch, as thunks: one per CTA
+    for a non-persistent grid (fresh [Sim.create] per unit — private
+    SMEM, mbarriers, register files — writing a disjoint output tile of
+    the shared parameter buffers), or a single unit draining the whole
+    work queue for a persistent program. The caller owns the fan-out:
+    {!run_grid_functional} pool-maps one launch's units, while the
+    task-graph scheduler concatenates the units of every kernel in a
+    wave and runs them through one shared pool dispatch — the
+    re-entrant handoff that lets independent kernels overlap instead of
+    pool-draining one kernel at a time. Units are safe to run
+    concurrently with each other but each thunk must run at most
+    once. *)
+let cta_units ~(prepared : Engine.prepared) ~(program : Isa.program)
+    ~(params : Sim.rt list) ~(grid : int * int * int) :
+    (unit -> Sim.outcome) array =
+  let gx, gy, gz = grid in
+  let num_programs = [| gx; gy; gz |] in
+  let total = gx * gy * gz in
+  if program.Isa.persistent then
+    [|
+      (fun () ->
+        let pop = queue_of_list (List.init total Fun.id) in
+        Engine.run_prepared prepared ~params ~num_programs ~pop_global:pop ());
+    |]
+  else
+    Array.init total (fun i ->
+        let x = i mod gx in
+        let rest = i / gx in
+        let pid = [| x; rest mod gy; rest / gy |] in
+        fun () ->
+          Engine.run_prepared prepared ~params ~num_programs ~pid
+            ~pop_global:no_queue ())
+
 (** Run every program instance of [grid] functionally; mutates the
     buffers bound to pointer params. Returns total simulated cycles of
     the slowest path (not meaningful as end-to-end time — use
@@ -114,39 +147,17 @@ let no_queue () = -1
 let run_grid_functional ~(cfg : Config.t) (program : Isa.program) ~(params : Sim.rt list)
     ~(grid : int * int * int) : float =
   let cfg = { cfg with Config.mode = Config.Functional } in
-  let gx, gy, gz = grid in
-  let num_programs = [| gx; gy; gz |] in
   (* Engine resolution and decoding happen once per launch; every CTA
      of the grid reuses the prepared program. *)
   let prepared = Engine.prepare ~cfg program in
-  if program.Isa.persistent then begin
-    let total = gx * gy * gz in
-    let pop = queue_of_list (List.init total Fun.id) in
-    (Engine.run_prepared prepared ~params ~num_programs ~pop_global:pop ())
-      .Sim.cycles
-  end
-  else begin
-    (* CTAs are independent: each gets a fresh [Sim.create] (private
-       SMEM, mbarriers, register files) and writes a disjoint output
-       tile of the shared parameter buffers, so they can be simulated
-       on a domain pool. The reduction is a [max] over per-CTA cycles
-       (associative, commutative), so the result is bit-identical for
-       any domain count; [Sim_error] deadlocks in any CTA propagate
-       out of the pool. *)
-    let total = gx * gy * gz in
-    let pids =
-      Array.init total (fun i ->
-          let x = i mod gx in
-          let rest = i / gx in
-          [| x; rest mod gy; rest / gy |])
-    in
-    Tawa_pool.Pool.max_float
-      (fun pid ->
-        (Engine.run_prepared prepared ~params ~num_programs ~pid
-           ~pop_global:no_queue ())
-          .Sim.cycles)
-      pids
-  end
+  (* The reduction is a [max] over per-CTA cycles (associative,
+     commutative), so the result is bit-identical for any domain
+     count; [Sim_error] deadlocks in any CTA propagate out of the
+     pool. Persistent programs expose a single unit, which the pool
+     degrades to a plain sequential call. *)
+  Tawa_pool.Pool.max_float
+    (fun unit_ -> (unit_ ()).Sim.cycles)
+    (cta_units ~prepared ~program ~params ~grid)
 
 (** Timing estimate for a [grid] launch at scale. [flops] is the useful
     arithmetic of the whole launch (for TFLOPS). [rep_pid] selects the

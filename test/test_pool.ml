@@ -101,17 +101,52 @@ let test_nested_map_sequentializes () =
 let test_sequential_spawns_no_domains () =
   (* At domain count 1 every entry point must take the plain loop:
      the lifetime spawn counter stays flat. A genuinely parallel map
-     must move it — proving the counter observes real spawns. *)
+     must have moved it at some point — proving the counter observes
+     real spawns. *)
   let xs = Array.init 100 (fun i -> i) in
+  ignore (Pool.map ~domains:4 (fun i -> i * 2) xs);
+  Alcotest.(check bool) "parallel map spawned helpers" true
+    (Pool.domains_spawned () > 0);
   let before = Pool.domains_spawned () in
   ignore (Pool.map ~domains:1 (fun i -> i + 1) xs);
   Pool.iter ~domains:1 (fun _ -> ()) xs;
   ignore (Pool.map ~domains:4 (fun x -> x) [| 7 |]);
   Alcotest.(check int) "no helpers for sequential work" before
-    (Pool.domains_spawned ());
-  ignore (Pool.map ~domains:4 (fun i -> i * 2) xs);
-  Alcotest.(check bool) "parallel map spawns helpers" true
-    (Pool.domains_spawned () > before)
+    (Pool.domains_spawned ())
+
+let test_shared_pool_reuses_helpers () =
+  (* The pool is persistent: repeated parallel maps at the same width
+     reuse the resident helpers, so the lifetime spawn counter stays
+     flat from the second call on — the per-launch spawn overhead the
+     persistent pool exists to remove. *)
+  let xs = Array.init 200 (fun i -> i) in
+  ignore (Pool.map ~domains:4 (fun i -> i + 1) xs);
+  let before = Pool.domains_spawned () in
+  for _ = 1 to 5 do
+    ignore (Pool.map ~domains:4 (fun i -> i * 3) xs);
+    Pool.iter ~domains:3 (fun _ -> ()) xs
+  done;
+  Alcotest.(check int) "spawn counter flat across repeated parallel maps"
+    before (Pool.domains_spawned ());
+  (* And the handle observes the resident set. *)
+  Alcotest.(check bool) "resident helpers" true
+    (Pool.helpers (Pool.shared ()) >= 3)
+
+let test_shared_warm_and_shutdown () =
+  let h = Pool.shared () in
+  Alcotest.(check bool) "one process-wide handle" true (h == Pool.shared ());
+  (* Warm to an explicit width; correct results and a full worker set
+     must survive a shutdown (the pool respawns on demand). *)
+  Pool.warm ~domains:3 h;
+  Alcotest.(check bool) "warm spawned" true (Pool.helpers h >= 2);
+  Pool.shutdown h;
+  Alcotest.(check int) "helpers joined" 0 (Pool.helpers h);
+  let xs = Array.init 64 (fun i -> i) in
+  Alcotest.(check (array int))
+    "map correct after shutdown"
+    (Array.map (fun i -> i * 5) xs)
+    (Pool.map ~domains:4 (fun i -> i * 5) xs);
+  Alcotest.(check bool) "respawned" true (Pool.helpers h > 0)
 
 let test_default_domains_override () =
   with_domains 3 (fun () ->
@@ -207,6 +242,10 @@ let suites =
           test_nested_map_sequentializes;
         Alcotest.test_case "sequential spawns no domains" `Quick
           test_sequential_spawns_no_domains;
+        Alcotest.test_case "shared pool reuses helpers" `Quick
+          test_shared_pool_reuses_helpers;
+        Alcotest.test_case "shared warm and shutdown" `Quick
+          test_shared_warm_and_shutdown;
         Alcotest.test_case "default override" `Quick test_default_domains_override;
       ] );
     ( "pool.grid",

@@ -83,6 +83,26 @@ let trace =
            ~doc:"Write a Chrome trace-event JSON of one CTA's per-unit intervals to \
                  $(docv) (load in Perfetto or chrome://tracing).")
 
+let ops =
+  Arg.(value & flag
+       & info [ "ops" ]
+           ~doc:"Print the hot-op table: simulated cycles attributed to each IR op \
+                 (via the codegen source map), split by stall bucket and mapped back \
+                 to the front-end op it descends from.")
+
+let channels =
+  Arg.(value & flag
+       & info [ "channels" ]
+           ~doc:"Print the reconstructed per-channel timeline: put and wait spans on \
+                 every mbarrier and aref ring, recovered from recorded channel events.")
+
+let critical_path =
+  Arg.(value & flag
+       & info [ "critical-path" ]
+           ~doc:"Print the critical path: the longest chain of op segments and \
+                 channel edges (op completion -> mbarrier arrive -> waiter wake) \
+                 bounding the CTA's latency, with per-edge slack.")
+
 let demo =
   Arg.(value & opt string "all"
        & info [ "demo" ] ~docv:"NAME"

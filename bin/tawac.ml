@@ -338,16 +338,25 @@ let do_run path kernel_name d p coop persistent coarse sw naive m n kk l engine 
             match store_tile k with Some x -> x | None -> (16, 16)
           in
           if functional then begin
-            let a = Tensor.random ~dtype:Dtype.F16 ~seed:1 [| m; kk |] in
-            let b = Tensor.random ~dtype:Dtype.F16 ~seed:2 [| kk; n |] in
-            let cbuf = Tensor.create ~dtype:Dtype.F16 [| m; n |] in
+            (* Drive inputs at the kernel's declared pointer dtypes so
+               e.g. an f8e4m3 GEMM is verified against a reference fed
+               the same quantized values. *)
+            let ptr_dtype i =
+              match List.nth_opt k.Kernel.params i with
+              | Some v -> (
+                match Value.ty v with Types.TPtr d -> d | _ -> Dtype.F16)
+              | None -> Dtype.F16
+            in
+            let a = Tensor.random ~dtype:(ptr_dtype 0) ~seed:1 [| m; kk |] in
+            let b = Tensor.random ~dtype:(ptr_dtype 1) ~seed:2 [| kk; n |] in
+            let cbuf = Tensor.create ~dtype:(ptr_dtype 2) [| m; n |] in
             ignore
               (Launch.run_grid_functional ~cfg c.Flow.program
                  ~params:
                    [ Sim.Rtensor a; Sim.Rtensor b; Sim.Rtensor cbuf; Sim.Rint m;
                      Sim.Rint n; Sim.Rint kk ]
                  ~grid:(m / tile_m, n / tile_n, 1));
-            let want = Reference.gemm ~out_dtype:Dtype.F16 a b in
+            let want = Reference.gemm ~out_dtype:(ptr_dtype 2) a b in
             let diff = Tensor.max_rel_diff cbuf want in
             Printf.printf
               "kernel @%s (gemm %dx%dx%d): max rel diff vs reference = %.2e %s\n"
@@ -424,12 +433,16 @@ let do_run path kernel_name d p coop persistent coarse sw naive m n kk l engine 
 (* Profile a kernel: run the timing simulation of its representative
    CTA and report where every warp group's cycles went (stall
    attribution) plus per-channel occupancy. The counters are
-   engine-independent (identical under --engine reference and decoded);
-   --trace additionally re-runs one CTA under the tracing oracle and
-   writes a Chrome trace-event JSON of the per-unit busy/stall
-   intervals (load in Perfetto / chrome://tracing). *)
+   engine-independent (identical under --engine reference and decoded),
+   and so are the deep-profiler views: --ops attributes cycles to IR
+   ops through the codegen source map, --channels reconstructs per-slot
+   put/wait timelines from recorded channel events, --critical-path
+   walks the recorded dependence events for the chain bounding the
+   CTA's latency, and --trace writes a Chrome trace-event JSON with op
+   and channel lanes (plus the legacy per-unit lanes under the
+   reference engine). *)
 let do_profile path kernel_name d p coop persistent coarse sw naive m n kk l engine obs
-    trace_out emode =
+    trace_out show_ops show_channels show_cp emode =
   try
     let emode = Cli_args.resolve_mode ~default:Config.Timing emode in
     let options = Cli_args.options_of ~sw ~naive ~d ~p ~coop ~persistent ~coarse () in
@@ -504,16 +517,21 @@ let do_profile path kernel_name d p coop persistent coarse sw naive m n kk l eng
               Printf.printf "representative CTA: %.0f cycles\n" prof.Sim.wall
             | None -> ());
             emit_profile ~obs:(Some `Table) ~kernel_name:k.Kernel.name t);
-          (match trace_out with
-          | None -> ()
-          | Some tpath ->
-            (* One CTA under the tracing oracle; persistent kernels pop
-               one SM's share of the tile queue, mirroring
-               [Launch.estimate]. *)
-            let cfg = { tcfg with Config.collect_trace = true } in
+          let program = c.Flow.program in
+          if show_ops then
+            (match t.Launch.profile with
+            | Some prof -> print_string (Sim.op_table ~program prof)
+            | None ->
+              print_string "no representative-CTA profile available for --ops\n");
+          if show_channels || show_cp || trace_out <> None then begin
+            (* One recorded CTA; persistent kernels pop one SM's share
+               of the tile queue, mirroring [Launch.estimate]. Both
+               engines feed the recorder; the reference engine
+               additionally keeps its legacy per-unit interval lanes. *)
+            let cfg = { tcfg with Config.collect_trace = trace_out <> None } in
             let gx, gy, gz = grid in
-            let pop =
-              if c.Flow.program.Tawa_machine.Isa.persistent then begin
+            let pop () =
+              if program.Tawa_machine.Isa.persistent then begin
                 let total = gx * gy * gz in
                 let share =
                   (total + cfg.Config.num_sms - 1) / cfg.Config.num_sms
@@ -523,14 +541,54 @@ let do_profile path kernel_name d p coop persistent coarse sw naive m n kk l eng
               end
               else Launch.no_queue
             in
-            let cta =
-              Sim.create ~cfg ~program:c.Flow.program ~params
-                ~num_programs:[| gx; gy; gz |] ~pop_global:pop
+            let recorder = Tawa_obs.Prof.create () in
+            let legacy, outcome =
+              match Engine.resolve cfg with
+              | Config.Reference ->
+                let cta =
+                  Sim.create ~recorder ~cfg ~program ~params
+                    ~num_programs:[| gx; gy; gz |] ~pop_global:(pop ()) ()
+                in
+                let o = Sim.run cta in
+                (List.rev cta.Sim.events, o)
+              | Config.Decoded ->
+                ( [],
+                  Engine.run_cta ~recorder ~cfg ~program ~params
+                    ~num_programs:[| gx; gy; gz |] ~pop_global:(pop ()) () )
             in
-            ignore (Sim.run cta);
-            Tawa_obs.Trace.to_file tpath
-              (Tawa_obs.Trace.of_intervals (List.rev cta.Sim.events));
-            Printf.printf "Chrome trace written to %s (load in Perfetto)\n" tpath))
+            let chan_label ch = Sim.chan_label_of ~program ch in
+            let wg_label w = Sim.wg_label_of ~program w in
+            let pc_label w pc = Sim.pc_label_of ~program w pc in
+            if show_channels then begin
+              print_string "channel timeline (puts and waits):\n";
+              List.iter
+                (fun (lane, t0, t1, label) ->
+                  Printf.printf "  %-28s %10.1f .. %-10.1f %s\n" lane t0 t1 label)
+                (Tawa_obs.Prof.channel_intervals recorder ~chan_label)
+            end;
+            if show_cp then begin
+              let wg_times =
+                Array.map
+                  (fun w -> w.Sim.p_time)
+                  outcome.Sim.profile.Sim.wg_profs
+              in
+              print_string
+                (Tawa_obs.Prof.render_path
+                   (Tawa_obs.Prof.critical_path recorder ~wg_times)
+                   ~wg_label ~chan_label ~pc_label)
+            end;
+            match trace_out with
+            | None -> ()
+            | Some tpath ->
+              let lanes =
+                legacy
+                @ Tawa_obs.Prof.op_intervals recorder ~wg_label ~pc_label
+                @ Tawa_obs.Prof.channel_intervals recorder ~chan_label
+              in
+              Tawa_obs.Trace.to_file tpath (Tawa_obs.Trace.of_intervals lanes);
+              Printf.printf "Chrome trace written to %s (load in Perfetto)\n"
+                tpath
+          end)
       kernels;
     if !unknown then 1 else 0
   with
@@ -949,7 +1007,8 @@ let profile_cmd =
       const do_profile $ Cli_args.file $ Cli_args.kernel $ Cli_args.d $ Cli_args.p
       $ Cli_args.coop $ Cli_args.persistent $ Cli_args.coarse $ Cli_args.sw
       $ Cli_args.naive $ Cli_args.m () $ Cli_args.n () $ Cli_args.k () $ Cli_args.l ()
-      $ Cli_args.engine $ Cli_args.obs $ Cli_args.trace $ Cli_args.mode)
+      $ Cli_args.engine $ Cli_args.obs $ Cli_args.trace $ Cli_args.ops
+      $ Cli_args.channels $ Cli_args.critical_path $ Cli_args.mode)
 
 let autotune_cmd =
   let doc =

@@ -52,7 +52,7 @@ let () =
   let cta =
     Sim.create ~cfg ~program:compiled.Flow.program
       ~params:[ Sim.Rnone; Sim.Rnone; Sim.Rnone; Sim.Rint 8192; Sim.Rint 8192; Sim.Rint k ]
-      ~num_programs:[| 64; 64; 1 |] ~pop_global:Launch.no_queue
+      ~num_programs:[| 64; 64; 1 |] ~pop_global:Launch.no_queue ()
   in
   let outcome = Sim.run cta in
   Printf.printf
@@ -75,7 +75,7 @@ let () =
   let cta2 =
     Sim.create ~cfg ~program:sync.Flow.program
       ~params:[ Sim.Rnone; Sim.Rnone; Sim.Rnone; Sim.Rint 8192; Sim.Rint 8192; Sim.Rint k ]
-      ~num_programs:[| 64; 64; 1 |] ~pop_global:Launch.no_queue
+      ~num_programs:[| 64; 64; 1 |] ~pop_global:Launch.no_queue ()
   in
   let outcome2 = Sim.run cta2 in
   render_timeline cta2.Sim.events ~t0:0.0 ~t1:outcome2.Sim.cycles ~width:100;

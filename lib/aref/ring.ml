@@ -20,12 +20,40 @@ type stats = {
   mutable max_occupancy : int;
 }
 
-type 'a t = { slots : 'a Semantics.t array; stats : stats }
+(** One successful protocol transition on the ring, stamped with a
+    per-ring logical step counter. The history mirrors the simulator's
+    profiler channel events ({!Tawa_obs.Prof}) at the abstract-machine
+    level, so a model-checked schedule can be rendered as the same kind
+    of per-slot timeline the deep profiler reconstructs from mbarrier
+    events. *)
+type event = {
+  ev_step : int; (* logical time: ring-wide transition ordinal *)
+  ev_slot : int;
+  ev_iter : int;
+  ev_kind : [ `Put | `Get | `Consumed ];
+}
+
+type 'a t = {
+  slots : 'a Semantics.t array;
+  stats : stats;
+  mutable clock : int;
+  mutable events : event list; (* reverse order *)
+}
 
 let create ~depth =
   if depth <= 0 then invalid_arg "Ring.create: depth must be positive";
   { slots = Array.init depth (fun _ -> Semantics.create ());
-    stats = { puts = 0; gets = 0; put_blocked = 0; get_blocked = 0; max_occupancy = 0 } }
+    stats = { puts = 0; gets = 0; put_blocked = 0; get_blocked = 0; max_occupancy = 0 };
+    clock = 0;
+    events = [] }
+
+let record r ~iter kind =
+  let ev =
+    { ev_step = r.clock; ev_slot = iter mod Array.length r.slots;
+      ev_iter = iter; ev_kind = kind }
+  in
+  r.clock <- r.clock + 1;
+  r.events <- ev :: r.events
 
 let depth r = Array.length r.slots
 
@@ -43,6 +71,7 @@ let put r ~iter v =
   match Semantics.put r.slots.(slot_of_iter r iter) v with
   | Semantics.Ok () as ok ->
     r.stats.puts <- r.stats.puts + 1;
+    record r ~iter `Put;
     let occ = occupancy r in
     if occ > r.stats.max_occupancy then r.stats.max_occupancy <- occ;
     ok
@@ -54,12 +83,74 @@ let get r ~iter =
   match Semantics.get r.slots.(slot_of_iter r iter) with
   | Semantics.Ok _ as ok ->
     r.stats.gets <- r.stats.gets + 1;
+    record r ~iter `Get;
     ok
   | Semantics.Blocked as b ->
     r.stats.get_blocked <- r.stats.get_blocked + 1;
     b
 
-let consumed r ~iter = Semantics.consumed r.slots.(slot_of_iter r iter)
+let consumed r ~iter =
+  match Semantics.consumed r.slots.(slot_of_iter r iter) with
+  | Semantics.Ok () as ok ->
+    record r ~iter `Consumed;
+    ok
+  | Semantics.Blocked as b -> b
+
+(** The recorded transition history, oldest first. *)
+let history r = List.rev r.events
+
+(** Per-slot occupancy windows derived from the history, as
+    [(lane, start, end, label)] interval tuples directly loadable by
+    {!Tawa_obs.Trace.of_intervals}: a "full" span from each PUT to the
+    GET that borrows it, and a "borrowed" span from that GET to the
+    CONSUMED that releases the slot. Spans still open at the end of the
+    history are closed at the current clock. *)
+let timeline r : (string * float * float * string) list =
+  let lane s = Printf.sprintf "slot[%d]" s in
+  let now = float_of_int r.clock in
+  let spans = ref [] in
+  let pending_put = Hashtbl.create 8 (* iter -> put step *) in
+  let pending_get = Hashtbl.create 8 (* iter -> get step *) in
+  List.iter
+    (fun ev ->
+      let t = float_of_int ev.ev_step in
+      match ev.ev_kind with
+      | `Put -> Hashtbl.replace pending_put ev.ev_iter ev.ev_step
+      | `Get ->
+        (match Hashtbl.find_opt pending_put ev.ev_iter with
+        | Some t0 ->
+          Hashtbl.remove pending_put ev.ev_iter;
+          spans :=
+            ( lane ev.ev_slot, float_of_int t0, t,
+              Printf.sprintf "full iter=%d" ev.ev_iter )
+            :: !spans
+        | None -> ());
+        Hashtbl.replace pending_get ev.ev_iter ev.ev_step
+      | `Consumed -> (
+        match Hashtbl.find_opt pending_get ev.ev_iter with
+        | Some t0 ->
+          Hashtbl.remove pending_get ev.ev_iter;
+          spans :=
+            ( lane ev.ev_slot, float_of_int t0, t,
+              Printf.sprintf "borrowed iter=%d" ev.ev_iter )
+            :: !spans
+        | None -> ()))
+    (history r);
+  Hashtbl.iter
+    (fun iter t0 ->
+      spans :=
+        ( lane (slot_of_iter r iter), float_of_int t0, now,
+          Printf.sprintf "full iter=%d (open)" iter )
+        :: !spans)
+    pending_put;
+  Hashtbl.iter
+    (fun iter t0 ->
+      spans :=
+        ( lane (slot_of_iter r iter), float_of_int t0, now,
+          Printf.sprintf "borrowed iter=%d (open)" iter )
+        :: !spans)
+    pending_get;
+  List.sort compare !spans
 
 (** Copy of the telemetry counters (safe to keep across further ops). *)
 let stats r =

@@ -279,6 +279,11 @@ type wg = {
   mutable instret : int;
   mutable in_ready : bool; (* membership flag for the ready heap *)
   buckets : float array; (* per-Stall-bucket cycle attribution *)
+  cells : float array;
+      (* per-(pc, bucket) attribution, mirroring [Sim.wg.cells]:
+         [Stall.num] entries per source instruction, row-major by pc.
+         Empty for the probe scratch WG (cost probing must not
+         attribute). *)
 }
 
 and ectx = {
@@ -305,6 +310,10 @@ and ectx = {
   mbar_wait : float array; (* per-channel blocked time (excl. sync cost) *)
   ring_wait : float array;
   num_rings : int; (* program ring count; ring arrays are padded to >= 1 *)
+  recorder : Tawa_obs.Prof.t option;
+      (* deep-profiler event sink, mirroring [Sim.cta.recorder]. Read at
+         runtime by the compiled closures — never captured — so a
+         recorder does not perturb the decode cache. *)
 }
 
 and code = ectx -> wg -> unit
@@ -400,13 +409,50 @@ let smem_get ctx alloc slot =
 
 (* ------------------------- event wake-ups ------------------------- *)
 
+(* Per-(pc, bucket) attribution mirror of [Sim.charge_cell]. Bounds
+   guard covers the probe scratch WG (empty cells) — real WGs always
+   charge in range because the pc points at the consuming instruction. *)
+let[@inline] charge_cell w b c =
+  let o = (w.pc * Tawa_obs.Stall.num) + b in
+  if o >= 0 && o < Array.length w.cells then w.cells.(o) <- w.cells.(o) +. c
+
 let[@inline] spend w b c =
   w.c.t <- w.c.t +. c;
   w.c.busy <- w.c.busy +. c;
-  w.buckets.(b) <- w.buckets.(b) +. c
+  w.buckets.(b) <- w.buckets.(b) +. c;
+  charge_cell w b c
 
 (* Blocked-time jump attribution; same guard as [Sim.stalled]. *)
-let stalled w b dt = if dt > 0.0 then w.buckets.(b) <- w.buckets.(b) +. dt
+let stalled w b dt =
+  if dt > 0.0 then begin
+    w.buckets.(b) <- w.buckets.(b) +. dt;
+    charge_cell w b dt
+  end
+
+(* ------------- deep-profiler recording (mirrors Sim's) ------------- *)
+
+let ring_chan ctx r = Array.length ctx.mbars + r
+
+let rec_completion ctx w chan (b : Mbarrier.t) completed =
+  match ctx.recorder with
+  | Some r when completed ->
+    let n = Mbarrier.completions b in
+    Tawa_obs.Prof.record_completion r ~chan ~n
+      ~time:(Mbarrier.completion_time b n) ~wg:w.index ~pc:w.pc ~issue:w.c.t
+  | _ -> ()
+
+let rec_wait ctx w chan ~target ~start ~ready =
+  match ctx.recorder with
+  | Some r ->
+    Tawa_obs.Prof.record_wait r ~chan ~wg:w.index ~pc:w.pc ~target ~start
+      ~ready ~resume:w.c.t
+  | None -> ()
+
+let rec_op ctx w ~pc ~t0 =
+  match ctx.recorder with
+  | Some r when w.c.t > t0 ->
+    Tawa_obs.Prof.record_op r ~wg:w.index ~pc ~t0 ~t1:w.c.t
+  | _ -> ()
 
 (* Wake every waiter of barrier [i] whose target is now satisfied.
    The unblock arithmetic matches [Sim.try_unblock] exactly: the
@@ -415,12 +461,15 @@ let stalled w b dt = if dt > 0.0 then w.buckets.(b) <- w.buckets.(b) +. dt
    bit-identical to the reference's rescan-every-iteration. *)
 let wake_mbar_one ctx i bar target w =
   let ct = Mbarrier.completion_time bar target in
+  let t0 = w.c.t in
   let nt = Float.max w.c.t ct +. ctx.cfg.Config.mbar_cycles in
   stalled w b_mbar (nt -. w.c.t);
   ctx.mbar_wait.(i) <-
     ctx.mbar_wait.(i) +. Float.max 0.0 (Float.max w.c.t ct -. w.c.t);
   Mbarrier.note_consumed bar ~target;
   w.c.t <- nt;
+  rec_wait ctx w i ~target ~start:t0 ~ready:ct;
+  rec_op ctx w ~pc:w.pc ~t0;
   w.state <- Sim.Running;
   w.pc <- w.pc + 1;
   ready_push ctx w
@@ -451,12 +500,15 @@ let wake_mbar ctx i bar =
 
 let wake_ring_one ctx i ring target w =
   let ct = Mbarrier.completion_time ring target in
+  let t0 = w.c.t in
   let nt = Float.max w.c.t ct +. ctx.cfg.Config.scalar_cycles in
   stalled w b_ring (nt -. w.c.t);
   ctx.ring_wait.(i) <-
     ctx.ring_wait.(i) +. Float.max 0.0 (Float.max w.c.t ct -. w.c.t);
   Mbarrier.note_consumed ring ~target;
   w.c.t <- nt;
+  rec_wait ctx w (ring_chan ctx i) ~target ~start:t0 ~ready:ct;
+  rec_op ctx w ~pc:w.pc ~t0;
   w.state <- Sim.Running;
   w.pc <- w.pc + 1;
   ready_push ctx w
@@ -502,8 +554,10 @@ let release_fences ctx =
         (fun i ->
           let w = ctx.wgs.(i) in
           let nt = tmax +. ctx.cfg.Config.fence_cycles in
+          let t0 = w.c.t in
           stalled w b_fence (nt -. w.c.t);
           w.c.t <- nt;
+          rec_op ctx w ~pc:w.pc ~t0;
           w.state <- Sim.Running;
           w.pc <- w.pc + 1;
           ready_push ctx w)
@@ -988,7 +1042,8 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
       ctx.stats.Sim.tma_count <- ctx.stats.Sim.tma_count + 1;
       let completion = start +. busy +. latency in
       let bar = bar_base + bar_idx w.planes in
-      ignore (Mbarrier.arrive ctx.mbars.(bar) ~time:completion)
+      rec_completion ctx w bar ctx.mbars.(bar)
+        (Mbarrier.arrive ctx.mbars.(bar) ~time:completion)
     in
     if functional then begin
       let dd = dget desc in
@@ -1029,7 +1084,9 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
       ctx.stats.Sim.tma_busy <- ctx.stats.Sim.tma_busy +. busy;
       ctx.stats.Sim.tma_bytes <- ctx.stats.Sim.tma_bytes +. fbytes;
       let completion = start +. busy +. latency in
-      if last then ignore (Mbarrier.arrive ctx.rings.(ring) ~time:completion)
+      if last then
+        rec_completion ctx w (ring_chan ctx ring) ctx.rings.(ring)
+          (Mbarrier.arrive ctx.rings.(ring) ~time:completion)
     in
     if functional then begin
       let dd = dget desc in
@@ -1061,12 +1118,14 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
       let rb = ctx.rings.(ring) in
       if tgt <= 0 || Mbarrier.completions rb >= tgt then begin
         let t = if tgt <= 0 then 0.0 else Mbarrier.completion_time rb tgt in
+        let t0 = w.c.t in
         let wait = Float.max w.c.t t -. w.c.t in
         stalled w b_ring wait;
         ctx.ring_wait.(ring) <- ctx.ring_wait.(ring) +. Float.max 0.0 wait;
         Mbarrier.note_consumed rb ~target:tgt;
         w.c.t <- Float.max w.c.t t;
         spend w b_ring sc;
+        rec_wait ctx w (ring_chan ctx ring) ~target:tgt ~start:t0 ~ready:t;
         w.pc <- w.pc + 1
       end
       else begin
@@ -1168,7 +1227,9 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
     let mc = cfg.Config.mbar_cycles in
     fun ctx w ->
       spend w b_mbar mc;
-      ignore (Mbarrier.arrive ctx.mbars.(base + idx w.planes) ~time:w.c.t);
+      let bar = base + idx w.planes in
+      rec_completion ctx w bar ctx.mbars.(bar)
+        (Mbarrier.arrive ctx.mbars.(bar) ~time:w.c.t);
       w.pc <- w.pc + 1
   | Isa.Mbar_wait { bar; target } ->
     let base = bar.Isa.base in
@@ -1183,12 +1244,14 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
       let mb = ctx.mbars.(b) in
       if tgt <= 0 || Mbarrier.completions mb >= tgt then begin
         let t = if tgt <= 0 then 0.0 else Mbarrier.completion_time mb tgt in
+        let t0 = w.c.t in
         let wait = Float.max w.c.t t -. w.c.t in
         stalled w b_mbar wait;
         ctx.mbar_wait.(b) <- ctx.mbar_wait.(b) +. Float.max 0.0 wait;
         Mbarrier.note_consumed mb ~target:tgt;
         w.c.t <- Float.max w.c.t t;
         spend w b_mbar mc;
+        rec_wait ctx w b ~target:tgt ~start:t0 ~ready:t;
         w.pc <- w.pc + 1
       end
       else begin
@@ -1276,7 +1339,14 @@ let compile_instr ~(cfg : Config.t) ~coop (i : Isa.instr) : code =
   | Isa.Sync_reset ->
     let mc = cfg.Config.mbar_cycles in
     fun ctx w ->
-      Array.iter Mbarrier.reset ctx.rings;
+      Array.iteri
+        (fun i b ->
+          Mbarrier.reset b;
+          match ctx.recorder with
+          | Some r ->
+            Tawa_obs.Prof.record_reset r ~chan:(ring_chan ctx i) ~time:w.c.t
+          | None -> ())
+        ctx.rings;
       spend w b_mbar mc;
       w.pc <- w.pc + 1
   | Isa.Workq_pop { dst } ->
@@ -1598,6 +1668,7 @@ let make_probe (cfg : Config.t) role : ectx * wg =
       instret = 0;
       in_ready = false;
       buckets = Array.make Tawa_obs.Stall.num 0.0;
+      cells = [||];
     }
   in
   let ctx =
@@ -1632,6 +1703,7 @@ let make_probe (cfg : Config.t) role : ectx * wg =
       mbar_wait = [||];
       ring_wait = [||];
       num_rings = 0;
+      recorder = None;
     }
   in
   (ctx, w)
@@ -1836,9 +1908,14 @@ let optimize_stream ~(cfg : Config.t) ~coop ~role ~param_atags ~tc_single
              cs.(i) <- c
            | None -> assert false
          done;
+         let pc0 = !pc in
          units.(!pc) <-
            (fun _ctx w ->
+             (* Members occupy consecutive source pcs; step the pc in
+                lockstep so each replayed cost lands in the member's own
+                attribution cell, exactly as the reference charges it. *)
              for i = 0 to len - 1 do
+               w.pc <- pc0 + i;
                spend w (Array.unsafe_get bks i) (Array.unsafe_get cs i)
              done;
              w.pc <- pc_end)
@@ -1971,9 +2048,24 @@ let decode ~(cfg : Config.t) (program : Isa.program) : t =
                  let mc = cfg.Config.mbar_cycles in
                  fun ctx w ->
                    Array.iteri
-                     (fun i b -> if reset_mask.(i) then Mbarrier.reset b)
+                     (fun i b ->
+                       if reset_mask.(i) then begin
+                         Mbarrier.reset b;
+                         match ctx.recorder with
+                         | Some r ->
+                           Tawa_obs.Prof.record_reset r ~chan:i ~time:w.c.t
+                         | None -> ()
+                       end)
                      ctx.mbars;
-                   Array.iter Mbarrier.reset ctx.rings;
+                   Array.iteri
+                     (fun i b ->
+                       Mbarrier.reset b;
+                       match ctx.recorder with
+                       | Some r ->
+                         Tawa_obs.Prof.record_reset r ~chan:(ring_chan ctx i)
+                           ~time:w.c.t
+                       | None -> ())
+                     ctx.rings;
                    spend w b_mbar mc;
                    w.pc <- w.pc + 1
                | _ -> compile_instr ~cfg ~coop:s.Isa.coop instr)
@@ -2060,8 +2152,9 @@ let decode ~(cfg : Config.t) (program : Isa.program) : t =
 
 (* ------------------------ context creation ------------------------ *)
 
-let make_ctx (d : t) ~(params : Sim.rt list) ~(num_programs : int array)
-    ~(pid : int array) ~(pop_global : unit -> int) : ectx =
+let make_ctx ?recorder (d : t) ~(params : Sim.rt list)
+    ~(num_programs : int array) ~(pid : int array)
+    ~(pop_global : unit -> int) : ectx =
   let program = d.d_program in
   if List.length params <> List.length program.Isa.param_tys then
     err "sim: parameter arity mismatch (%d vs %d)" (List.length params)
@@ -2099,6 +2192,7 @@ let make_ctx (d : t) ~(params : Sim.rt list) ~(num_programs : int array)
           instret = 0;
           in_ready = false;
           buckets = Array.make Tawa_obs.Stall.num 0.0;
+          cells = Array.make (Array.length codes * Tawa_obs.Stall.num) 0.0;
         })
       d.d_codes
   in
@@ -2138,6 +2232,7 @@ let make_ctx (d : t) ~(params : Sim.rt list) ~(num_programs : int array)
       mbar_wait = Array.make (max 1 program.Isa.num_mbarriers) 0.0;
       ring_wait = Array.make (max 1 program.Isa.num_rings) 0.0;
       num_rings = program.Isa.num_rings;
+      recorder;
     }
   in
   Array.iteri (fun i b -> Mbarrier.set_notify b (fun bar -> wake_mbar ctx i bar)) ctx.mbars;
@@ -2199,6 +2294,13 @@ let profile_of_ctx ~wall (ctx : ectx) : Sim.profile =
   let wg_prof (w : wg) =
     let b = Array.copy w.buckets in
     b.(Tawa_obs.Stall.idle) <- Float.max 0.0 (wall -. w.c.t);
+    let cells = Array.copy w.cells in
+    (* Trailing idle lands on the instruction the WG finished on — same
+       rule as [Sim.wg_profile], and the pc parks at Exit in both
+       engines, so cells stay bit-identical. *)
+    let o = (w.pc * Tawa_obs.Stall.num) + Tawa_obs.Stall.idle in
+    if o >= 0 && o < Array.length cells then
+      cells.(o) <- cells.(o) +. Float.max 0.0 (wall -. w.c.t);
     {
       Sim.p_index = w.index;
       p_role = Op.role_to_string w.role;
@@ -2206,6 +2308,7 @@ let profile_of_ctx ~wall (ctx : ectx) : Sim.profile =
       p_busy = w.c.busy;
       p_instret = w.instret;
       p_buckets = b;
+      p_cells = cells;
     }
   in
   {

@@ -4,20 +4,26 @@
 
     - {b Reference} — {!Sim.step}, the tree-walking interpreter. It is
       the semantic oracle: simple, obviously faithful to the paper's
-      cost model, and the only engine that records timeline events
-      ([collect_trace]).
+      cost model. It additionally records legacy interval events
+      ([collect_trace]) into [cta.events].
     - {b Decoded} — {!Decode}, the closure-compiled engine, selected by
       default. Bit-identical outcomes (cycles, stats, functional
       tensors) are enforced by the differential suite in
       [test/test_engine.ml].
+
+    Both engines feed the deep profiler: pass [?recorder] to
+    {!run_prepared}/{!run_cta} and op spans plus channel events are
+    recorded identically by either engine (the recorder is runtime
+    state, so it never perturbs the decode cache).
 
     Selection precedence: a forced override (bench harness) beats
     [cfg.engine], which beats the process-wide default
     ({!Config.default_engine}, seeded from the [TAWA_ENGINE]
     environment variable — "reference"/"ref"/"tree"/"interp" or
     "decoded"/"dec"/"closure" — via {!Config.of_env}), which beats the
-    built-in default (Decoded). [collect_trace] always forces
-    the reference engine — traces exist only in the oracle.
+    built-in default (Decoded). [collect_trace] no longer forces the
+    reference engine: timeline lanes come from the profiler recorder,
+    which both engines feed.
 
     Decoded programs are cached ({!Progcache}) keyed by program
     fingerprint x config digest, so repeated launches of the same
@@ -55,6 +61,7 @@ let run_decoded ?(max_steps = 50_000_000) (ctx : Decode.ectx) : Sim.outcome =
   let alive = ref (Array.length wgs) in
   let steps = ref 0 in
   let stats = ctx.Decode.stats in
+  let recd = ctx.Decode.recorder in
   while !alive > 0 do
     if !steps >= max_steps then err "sim: step budget exhausted";
     if ctx.Decode.ready.Decode.n > 0 then begin
@@ -71,7 +78,18 @@ let run_decoded ?(max_steps = 50_000_000) (ctx : Decode.ectx) : Sim.outcome =
         if !steps > max_steps then err "sim: step budget exhausted";
         stats.Sim.steps <- stats.Sim.steps + len;
         w.Decode.instret <- w.Decode.instret + len;
-        code.(pc) ctx w;
+        (match recd with
+        | Some r ->
+          (* Op spans per scheduler unit. Collapsed cost blocks span
+             all their members, attributed to the block's first pc. A
+             unit that left [in_ready] set is a self-releasing Fence:
+             its span was already recorded by [release_fences]. *)
+          let t0 = w.Decode.c.Decode.t in
+          code.(pc) ctx w;
+          if (not w.Decode.in_ready) && w.Decode.c.Decode.t > t0 then
+            Tawa_obs.Prof.record_op r ~wg:w.Decode.index ~pc ~t0
+              ~t1:w.Decode.c.Decode.t
+        | None -> code.(pc) ctx w);
         match w.Decode.state with
         | Sim.Running
           when (not w.Decode.in_ready)
@@ -125,18 +143,11 @@ let run_decoded ?(max_steps = 50_000_000) (ctx : Decode.ectx) : Sim.outcome =
 let forced : Config.engine option Atomic.t = Atomic.make None
 let set_forced e = Atomic.set forced e
 
-let log_src = Logs.Src.create "tawa.engine" ~doc:"Engine selection"
-
-module Log = (val Logs.src_log log_src : Logs.LOG)
-
-(* Interval-level traces ([collect_trace]) remain oracle-only: the
-   decoded engine never records timeline events. Counter-level
-   telemetry (stall buckets, channel occupancy) is engine-independent,
-   so forcing the oracle is only worth a warning, not an error — and
-   only once per process. *)
-let warned_trace_swap = Atomic.make false
-
-let resolve_untraced (cfg : Config.t) : Config.engine =
+(* [collect_trace] used to force the reference engine (interval traces
+   were oracle-only). The profiler recorder lifted that limitation: op
+   and channel timeline lanes are reconstructed from events both
+   engines record, so trace collection no longer affects selection. *)
+let resolve (cfg : Config.t) : Config.engine =
   match Atomic.get forced with
   | Some e -> e
   | None -> (
@@ -146,21 +157,6 @@ let resolve_untraced (cfg : Config.t) : Config.engine =
       match Config.default_engine () with
       | Some e -> e
       | None -> Config.Decoded))
-
-let resolve (cfg : Config.t) : Config.engine =
-  if cfg.Config.collect_trace then begin
-    (if
-       resolve_untraced cfg = Config.Decoded
-       && not (Atomic.exchange warned_trace_swap true)
-     then
-       Log.warn (fun m ->
-           m
-             "collect_trace forces the reference engine (interval traces are \
-              oracle-only); stall/channel counters would be identical under \
-              the decoded engine"));
-    Config.Reference
-  end
-  else resolve_untraced cfg
 
 (* ------------------------- decode caching ------------------------- *)
 
@@ -214,17 +210,19 @@ let prepare ~(cfg : Config.t) (program : Isa.program) : prepared =
 (** Run one CTA of a prepared program. [pid] is the CTA's program id
     (non-persistent grids); persistent CTAs leave it at the default and
     pop work items instead. *)
-let run_prepared ?max_steps (p : prepared) ~(params : Sim.rt list)
+let run_prepared ?max_steps ?recorder (p : prepared) ~(params : Sim.rt list)
     ~(num_programs : int array) ?(pid = [| 0; 0; 0 |])
     ~(pop_global : unit -> int) () : Sim.outcome =
   let outcome =
     match p with
     | Pref (cfg, program) ->
-      let cta = Sim.create ~cfg ~program ~params ~num_programs ~pop_global in
+      let cta =
+        Sim.create ?recorder ~cfg ~program ~params ~num_programs ~pop_global ()
+      in
       cta.Sim.pid <- pid;
       Sim.run ?max_steps cta
     | Pdec d ->
-      let ctx = Decode.make_ctx d ~params ~num_programs ~pid ~pop_global in
+      let ctx = Decode.make_ctx ?recorder d ~params ~num_programs ~pid ~pop_global in
       run_decoded ?max_steps ctx
   in
   ignore (Atomic.fetch_and_add retired outcome.Sim.instructions);
@@ -251,8 +249,8 @@ let run_measured ?max_steps ~(cfg : Config.t) ~(program : Isa.program)
   (outcome, Decode.measure_hwm d ctx)
 
 (** Prepare-and-run a single CTA (tests, one-shot launches). *)
-let run_cta ?max_steps ~(cfg : Config.t) ~(program : Isa.program)
+let run_cta ?max_steps ?recorder ~(cfg : Config.t) ~(program : Isa.program)
     ~(params : Sim.rt list) ~(num_programs : int array)
     ?pid ~(pop_global : unit -> int) () : Sim.outcome =
-  run_prepared ?max_steps (prepare ~cfg program) ~params ~num_programs ?pid
-    ~pop_global ()
+  run_prepared ?max_steps ?recorder (prepare ~cfg program) ~params
+    ~num_programs ?pid ~pop_global ()

@@ -68,6 +68,11 @@ type wg = {
   mutable busy : float; (* non-stalled cycles, for utilization stats *)
   mutable instret : int;
   buckets : float array; (* per-Stall-bucket cycle attribution *)
+  cells : float array;
+      (* per-(pc, bucket) cycle attribution: Stall.num entries per
+         instruction of the stream, row-major by pc. Every cycle charged
+         to [buckets] is charged to the cell of the instruction the WG's
+         pc points at — the deep-profiler's raw material (DESIGN.md §15). *)
 }
 
 type stats = {
@@ -100,10 +105,15 @@ type cta = {
       (* (unit, start, end, label) busy intervals when collect_trace *)
   mbar_wait : float array; (* per-channel blocked time (excl. sync cost) *)
   ring_wait : float array;
+  recorder : Tawa_obs.Prof.t option;
+      (* deep-profiler event sink; None (the default) records nothing.
+         Channel ids follow the Prof convention: mbarrier [i] is
+         channel [i], ring [r] is channel [num_mbarriers + r]. *)
 }
 
-let create ~(cfg : Config.t) ~(program : Isa.program) ~(params : rt list)
-    ~(num_programs : int array) ~(pop_global : unit -> int) =
+let create ?recorder ~(cfg : Config.t) ~(program : Isa.program)
+    ~(params : rt list) ~(num_programs : int array)
+    ~(pop_global : unit -> int) () =
   if List.length params <> List.length program.Isa.param_tys then
     err "sim: parameter arity mismatch (%d vs %d)" (List.length params)
       (List.length program.Isa.param_tys);
@@ -129,6 +139,10 @@ let create ~(cfg : Config.t) ~(program : Isa.program) ~(params : rt list)
              busy = 0.0;
              instret = 0;
              buckets = Array.make Tawa_obs.Stall.num 0.0;
+             cells =
+               Array.make
+                 (Array.length s.Isa.instrs * Tawa_obs.Stall.num)
+                 0.0;
            })
          program.Isa.streams)
   in
@@ -155,6 +169,7 @@ let create ~(cfg : Config.t) ~(program : Isa.program) ~(params : rt list)
     events = [];
     mbar_wait = Array.make (max 1 program.Isa.num_mbarriers) 0.0;
     ring_wait = Array.make (max 1 program.Isa.num_rings) 0.0;
+    recorder;
   }
 
 (* ------------------------- register file -------------------------- *)
@@ -248,16 +263,30 @@ let bytes_of ~rows ~cols dtype = rows * cols * Dtype.size_bytes dtype
 
 (* ------------------------- the step function ---------------------- *)
 
+(* Charge [c] cycles against the per-(pc, bucket) attribution cell of
+   the instruction the WG is currently executing. Every charge site in
+   [step]/[try_unblock]/[release_fences] fires while [wg.pc] still
+   points at the consuming instruction, so no explicit pc argument is
+   needed — the decode engine maintains the same discipline. *)
+let charge_cell wg b c =
+  let o = (wg.pc * Tawa_obs.Stall.num) + b in
+  if o >= 0 && o < Array.length wg.cells then wg.cells.(o) <- wg.cells.(o) +. c
+
 (* Advance [wg]'s clock by [c] cycles of real work, charged to stall
    bucket [b]. *)
 let spend wg b c =
   wg.time <- wg.time +. c;
   wg.busy <- wg.busy +. c;
-  wg.buckets.(b) <- wg.buckets.(b) +. c
+  wg.buckets.(b) <- wg.buckets.(b) +. c;
+  charge_cell wg b c
 
 (* Attribute a blocked-time jump (clock warp without work) to bucket [b].
    Not counted as busy — mirrors the pre-telemetry accounting. *)
-let stalled wg b dt = if dt > 0.0 then wg.buckets.(b) <- wg.buckets.(b) +. dt
+let stalled wg b dt =
+  if dt > 0.0 then begin
+    wg.buckets.(b) <- wg.buckets.(b) +. dt;
+    charge_cell wg b dt
+  end
 
 let tile_cost (cfg : Config.t) coop ~elems ~per_cycle =
   Float.of_int elems /. per_cycle /. Float.of_int coop
@@ -267,6 +296,36 @@ let trace cta unit t0 t1 label =
     cta.events <- (unit, t0, t1, label) :: cta.events
 
 let wg_unit wg = Printf.sprintf "WG%d(%s)" wg.index (Op.role_to_string wg.stream.Isa.role)
+
+(* ---------------- deep-profiler recording helpers -----------------
+   All no-ops when no recorder is attached; every call site fires while
+   [wg.pc] is still at the consuming/issuing instruction. The decode
+   engine records the same events at the same points. *)
+
+let ring_chan cta r = Array.length cta.mbars + r
+
+let rec_completion cta wg chan (b : Mbarrier.t) completed =
+  match cta.recorder with
+  | Some r when completed ->
+    let n = Mbarrier.completions b in
+    Tawa_obs.Prof.record_completion r ~chan ~n
+      ~time:(Mbarrier.completion_time b n) ~wg:wg.index ~pc:wg.pc
+      ~issue:wg.time
+  | _ -> ()
+
+let rec_wait cta wg chan ~target ~start ~ready =
+  match cta.recorder with
+  | Some r ->
+    Tawa_obs.Prof.record_wait r ~chan ~wg:wg.index ~pc:wg.pc ~target ~start
+      ~ready ~resume:wg.time
+  | None -> ()
+
+(* Retired-op interval [t0, wg.time) at the current pc. *)
+let rec_op cta wg ~pc ~t0 =
+  match cta.recorder with
+  | Some r when wg.time > t0 ->
+    Tawa_obs.Prof.record_op r ~wg:wg.index ~pc ~t0 ~t1:wg.time
+  | _ -> ()
 
 (* Release fence waiters once every live (non-finished) WG has arrived.
    Checked on [Fence] arrival AND on [Exit]: a WG exiting after a peer
@@ -288,9 +347,11 @@ let release_fences cta =
         (fun i ->
           let w = cta.wgs.(i) in
           let nt = tmax +. cta.cfg.Config.fence_cycles in
+          let t0 = w.time in
           stalled w b_fence (nt -. w.time);
           trace cta (wg_unit w) w.time nt "stall(fence)";
           w.time <- nt;
+          rec_op cta w ~pc:w.pc ~t0;
           w.state <- Running;
           w.pc <- w.pc + 1)
         cta.fence_waiters;
@@ -464,7 +525,8 @@ let step cta wg =
     let completion = start +. busy +. cfg.tma_latency in
     trace cta "TMA" start (start +. busy) "copy";
     let bar = full.Isa.base + as_int wg full.Isa.index in
-    ignore (Mbarrier.arrive cta.mbars.(bar) ~time:completion);
+    rec_completion cta wg bar cta.mbars.(bar)
+      (Mbarrier.arrive cta.mbars.(bar) ~time:completion);
     (if functional then
        let d = as_desc wg desc in
        match d.buffer with
@@ -488,7 +550,9 @@ let step cta wg =
     cta.stats.tma_busy <- cta.stats.tma_busy +. busy;
     cta.stats.tma_bytes <- cta.stats.tma_bytes +. Float.of_int bytes;
     let completion = start +. busy +. cfg.tma_latency in
-    if last then ignore (Mbarrier.arrive cta.rings.(ring) ~time:completion);
+    if last then
+      rec_completion cta wg (ring_chan cta ring) cta.rings.(ring)
+        (Mbarrier.arrive cta.rings.(ring) ~time:completion);
     (if functional then
        let d = as_desc wg desc in
        match d.buffer with
@@ -503,12 +567,14 @@ let step cta wg =
     let tgt = as_int wg target in
     match Mbarrier.try_wait cta.rings.(ring) ~target:tgt with
     | Some t ->
+      let t0 = wg.time in
       let wait = Float.max wg.time t -. wg.time in
       stalled wg b_ring wait;
       cta.ring_wait.(ring) <- cta.ring_wait.(ring) +. Float.max 0.0 wait;
       Mbarrier.note_consumed cta.rings.(ring) ~target:tgt;
       wg.time <- Float.max wg.time t;
       spend wg b_ring cfg.scalar_cycles;
+      rec_wait cta wg (ring_chan cta ring) ~target:tgt ~start:t0 ~ready:t;
       advance ();
       true
     | None ->
@@ -559,7 +625,9 @@ let step cta wg =
     true
   | Isa.Mbar_arrive { base; index } ->
     spend wg b_mbar cfg.mbar_cycles;
-    ignore (Mbarrier.arrive cta.mbars.(base + as_int wg index) ~time:wg.time);
+    let bar = base + as_int wg index in
+    rec_completion cta wg bar cta.mbars.(bar)
+      (Mbarrier.arrive cta.mbars.(bar) ~time:wg.time);
     advance ();
     true
   | Isa.Mbar_wait { bar; target } -> (
@@ -567,12 +635,14 @@ let step cta wg =
     let tgt = as_int wg target in
     match Mbarrier.try_wait cta.mbars.(b) ~target:tgt with
     | Some t ->
+      let t0 = wg.time in
       let wait = Float.max wg.time t -. wg.time in
       stalled wg b_mbar wait;
       cta.mbar_wait.(b) <- cta.mbar_wait.(b) +. Float.max 0.0 wait;
       Mbarrier.note_consumed cta.mbars.(b) ~target:tgt;
       wg.time <- Float.max wg.time t;
       spend wg b_mbar cfg.mbar_cycles;
+      rec_wait cta wg b ~target:tgt ~start:t0 ~ready:t;
       advance ();
       true
     | None ->
@@ -644,9 +714,21 @@ let step cta wg =
         if
           i >= Array.length cta.program.Isa.mbar_resettable
           || cta.program.Isa.mbar_resettable.(i)
-        then Mbarrier.reset b)
+        then begin
+          Mbarrier.reset b;
+          match cta.recorder with
+          | Some r -> Tawa_obs.Prof.record_reset r ~chan:i ~time:wg.time
+          | None -> ()
+        end)
       cta.mbars;
-    Array.iter Mbarrier.reset cta.rings;
+    Array.iteri
+      (fun i b ->
+        Mbarrier.reset b;
+        match cta.recorder with
+        | Some r ->
+          Tawa_obs.Prof.record_reset r ~chan:(ring_chan cta i) ~time:wg.time
+        | None -> ())
+      cta.rings;
     spend wg b_mbar cfg.mbar_cycles;
     advance ();
     true
@@ -699,12 +781,15 @@ let try_unblock cta wg =
     match Mbarrier.try_wait cta.mbars.(bar) ~target with
     | Some t ->
       trace cta (wg_unit wg) wg.time (Float.max wg.time t) "stall(mbar)";
+      let t0 = wg.time in
       let nt = Float.max wg.time t +. cta.cfg.mbar_cycles in
       stalled wg b_mbar (nt -. wg.time);
       cta.mbar_wait.(bar) <-
         cta.mbar_wait.(bar) +. Float.max 0.0 (Float.max wg.time t -. wg.time);
       Mbarrier.note_consumed cta.mbars.(bar) ~target;
       wg.time <- nt;
+      rec_wait cta wg bar ~target ~start:t0 ~ready:t;
+      rec_op cta wg ~pc:wg.pc ~t0;
       wg.state <- Running;
       wg.pc <- wg.pc + 1
     | None -> ())
@@ -712,12 +797,15 @@ let try_unblock cta wg =
     match Mbarrier.try_wait cta.rings.(ring) ~target with
     | Some t ->
       trace cta (wg_unit wg) wg.time (Float.max wg.time t) "stall(ring)";
+      let t0 = wg.time in
       let nt = Float.max wg.time t +. cta.cfg.scalar_cycles in
       stalled wg b_ring (nt -. wg.time);
       cta.ring_wait.(ring) <-
         cta.ring_wait.(ring) +. Float.max 0.0 (Float.max wg.time t -. wg.time);
       Mbarrier.note_consumed cta.rings.(ring) ~target;
       wg.time <- nt;
+      rec_wait cta wg (ring_chan cta ring) ~target ~start:t0 ~ready:t;
+      rec_op cta wg ~pc:wg.pc ~t0;
       wg.state <- Running;
       wg.pc <- wg.pc + 1
     | None -> ())
@@ -735,6 +823,11 @@ type wg_prof = {
   p_busy : float;
   p_instret : int;
   p_buckets : float array;
+  p_cells : float array;
+      (* per-(pc, bucket) attribution, [Stall.num] entries per
+         instruction; trailing idle is charged to the cell of the
+         instruction the WG finished on, so the cells of a WG sum to
+         its bucket totals (up to float re-association). *)
 }
 
 (** Per-channel (mbarrier or aref ring) occupancy. *)
@@ -753,6 +846,13 @@ type profile = { wall : float; wg_profs : wg_prof array; chan_profs : chan_prof 
 let wg_profile ~wall (wg : wg) : wg_prof =
   let b = Array.copy wg.buckets in
   b.(b_idle) <- Float.max 0.0 (wall -. wg.time);
+  let cells = Array.copy wg.cells in
+  (* Trailing idle goes to the cell the WG finished on (its Exit): the
+     pc is parked there once the state flips to Finished, in both
+     engines, so attribution stays bit-identical. *)
+  let o = (wg.pc * Tawa_obs.Stall.num) + b_idle in
+  if o >= 0 && o < Array.length cells then
+    cells.(o) <- cells.(o) +. Float.max 0.0 (wall -. wg.time);
   {
     p_index = wg.index;
     p_role = Op.role_to_string wg.stream.Isa.role;
@@ -760,6 +860,7 @@ let wg_profile ~wall (wg : wg) : wg_prof =
     p_busy = wg.busy;
     p_instret = wg.instret;
     p_buckets = b;
+    p_cells = cells;
   }
 
 let chan_profile kind id (b : Mbarrier.t) wait =
@@ -865,6 +966,159 @@ let chan_table (p : profile) : string =
       [ "kind"; "id"; "arrivals"; "completions"; "max-pending"; "max-inflight"; "wait-cycles" ]
     rows
 
+(* ----------------------- per-op attribution ----------------------- *)
+
+(** A hot-op row: attribution cells aggregated over every WG of the
+    profile, keyed by the codegen op whose lowering emitted the
+    instruction ([Isa.srcmap]), and mapped back to the front-end op it
+    descends from via the "tawa.src" provenance attr that
+    [Isa.op_meta] records. oid [-1] collects scaffolding instructions
+    emitted outside any op (loop latches, stream prologues). *)
+type op_prof = {
+  o_oid : int;
+  o_name : string; (* opcode name; "-" for scaffolding *)
+  o_src : int; (* front-end op id; -1 when unknown *)
+  o_cycles : float; (* total cycles across all WGs *)
+  o_buckets : float array;
+}
+
+let per_op ~(program : Isa.program) (p : profile) : op_prof array =
+  let num = Tawa_obs.Stall.num in
+  let tbl : (int, float array) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (w : wg_prof) ->
+      let sm = Isa.srcmap program w.p_index in
+      let n = Array.length w.p_cells / num in
+      for pc = 0 to n - 1 do
+        let oid = if pc < Array.length sm then sm.(pc) else -1 in
+        let row =
+          match Hashtbl.find_opt tbl oid with
+          | Some r -> r
+          | None ->
+            let r = Array.make num 0.0 in
+            Hashtbl.add tbl oid r;
+            r
+        in
+        for b = 0 to num - 1 do
+          row.(b) <- row.(b) +. w.p_cells.((pc * num) + b)
+        done
+      done)
+    p.wg_profs;
+  let rows =
+    Hashtbl.fold
+      (fun oid row acc ->
+        let total = Array.fold_left ( +. ) 0.0 row in
+        if total = 0.0 then acc
+        else
+          let name, src =
+            match Isa.op_meta program oid with
+            | Some (n, s) -> (n, s)
+            | None -> ((if oid < 0 then "-" else Printf.sprintf "op%d" oid), -1)
+          in
+          {
+            o_oid = oid;
+            o_name = name;
+            o_src = src;
+            o_cycles = total;
+            o_buckets = row;
+          }
+          :: acc)
+      tbl []
+  in
+  Array.of_list
+    (List.sort
+       (fun a b ->
+         match compare b.o_cycles a.o_cycles with
+         | 0 -> compare a.o_oid b.o_oid
+         | c -> c)
+       rows)
+
+let op_table ?(top = 12) ~(program : Isa.program) (p : profile) : string =
+  let ops = per_op ~program p in
+  (* Every WG accounts for [wall] cycles (idle included), so the total
+     attributable pool is wall × WG-count — the conservation invariant. *)
+  let pool = p.wall *. Float.of_int (Array.length p.wg_profs) in
+  let shown = Array.sub ops 0 (min top (Array.length ops)) in
+  let fc x = Printf.sprintf "%.1f" x in
+  let rows =
+    Array.to_list shown
+    |> List.map (fun o ->
+           [
+             (if o.o_oid < 0 then "-" else string_of_int o.o_oid);
+             o.o_name;
+             (if o.o_src < 0 then "-" else string_of_int o.o_src);
+             fc o.o_cycles;
+             Printf.sprintf "%.1f%%" (100.0 *. o.o_cycles /. Float.max 1e-9 pool);
+           ]
+           @ (Array.to_list o.o_buckets |> List.map fc))
+  in
+  Tawa_obs.Tbl.render
+    ~header:
+      ([ "op"; "opcode"; "src"; "cycles"; "share" ]
+      @ Array.to_list Tawa_obs.Stall.names)
+    rows
+
+let per_op_json ~(program : Isa.program) (p : profile) : Tawa_obs.Json.t =
+  let open Tawa_obs in
+  Json.List
+    (Array.to_list (per_op ~program p)
+    |> List.map (fun o ->
+           Json.Obj
+             [
+               ("oid", Json.Int o.o_oid);
+               ("opcode", Json.Str o.o_name);
+               ("src", Json.Int o.o_src);
+               ("cycles", Json.Float o.o_cycles);
+               ( "stall",
+                 Json.Obj
+                   (Array.to_list
+                      (Array.mapi
+                         (fun i c -> (Stall.name_of_index i, Json.Float c))
+                         o.o_buckets)) );
+             ]))
+
+(* ------------------------ profiler labeling ----------------------- *)
+
+(* The recorder stores dense channel ids (mbarrier [i] = channel [i],
+   ring [r] = channel [num_mbarriers + r]); these helpers translate
+   them — and warp-group / pc coordinates — into the human names the
+   renderers in {!Tawa_obs.Prof} ask for. *)
+
+let chan_label_of ~(program : Isa.program) chan =
+  if chan < program.Isa.num_mbarriers then Isa.mbar_label program chan
+  else Isa.ring_label program (chan - program.Isa.num_mbarriers)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(** Is [chan] an aref channel? Aref lowering names its barrier pairs
+    "<hint>.empty[slot]" / "<hint>.full[slot]"; cp.async prefetch rings
+    carry aref traffic on the non-TMA path, so they count too. Scratch
+    mbarriers ("scratch:...") and unnamed barriers do not. *)
+let is_aref_chan ~(program : Isa.program) chan =
+  if chan >= program.Isa.num_mbarriers then true
+  else
+    let l = Isa.mbar_label program chan in
+    contains_sub l ".empty[" || contains_sub l ".full["
+
+let wg_label_of ~(program : Isa.program) wg =
+  match List.nth_opt program.Isa.streams wg with
+  | Some s -> Printf.sprintf "WG%d (%s)" wg (Op.role_to_string s.Isa.role)
+  | None -> Printf.sprintf "WG%d" wg
+
+let pc_label_of ~(program : Isa.program) wg pc =
+  match List.nth_opt program.Isa.streams wg with
+  | Some s when pc >= 0 && pc < Array.length s.Isa.instrs ->
+    let dis = Isa.to_string s.Isa.instrs.(pc) in
+    let sm = Isa.srcmap program wg in
+    let oid = if pc < Array.length sm then sm.(pc) else -1 in
+    (match if oid >= 0 then Isa.op_meta program oid else None with
+    | Some (name, _src) -> Printf.sprintf "%s <%s>" dis name
+    | None -> dis)
+  | _ -> Printf.sprintf "pc%d" pc
+
 type outcome = { cycles : float; stats : stats; instructions : int; profile : profile }
 
 (** Run the CTA to completion. [max_steps] bounds runaway programs. *)
@@ -887,7 +1141,16 @@ let run ?(max_steps = 50_000_000) (cta : cta) : outcome =
     match !best with
     | Some w ->
       w.instret <- w.instret + 1;
-      ignore (step cta w)
+      (match cta.recorder with
+      | Some _ ->
+        let pc0 = w.pc and t0 = w.time in
+        let is_fence = w.stream.Isa.instrs.(pc0) = Isa.Fence in
+        ignore (step cta w);
+        (* Fence spans are recorded by [release_fences] (which also
+           covers the peers it wakes); recording here too would double
+           the span for the last-arriving WG. *)
+        if not is_fence then rec_op cta w ~pc:pc0 ~t0
+      | None -> ignore (step cta w))
     | None ->
       let blocked =
         Array.to_list cta.wgs

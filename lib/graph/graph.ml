@@ -554,7 +554,23 @@ let overlap_model (inst : instance) (r : run) : model =
 (** Chrome-trace events for one replay on the model's simulated
     timeline: a "graph" lane of wave spans, plus one lane per node with
     its span placed at its wave's start. Cycles as microseconds, like
-    the rest of the trace module ([timeUnit: cycles]). *)
+    the rest of the trace module ([timeUnit: cycles]). Each node span
+    carries its representative CTA's dominant stall bucket and share in
+    [args], so a glance at the graph lane says what bounds each
+    kernel. *)
+let top_stall (o : Sim.outcome) : string * float =
+  let num = Tawa_obs.Stall.num in
+  let buckets = Array.make num 0.0 in
+  Array.iter
+    (fun (w : Sim.wg_prof) ->
+      Array.iteri (fun i c -> buckets.(i) <- buckets.(i) +. c) w.Sim.p_buckets)
+    o.Sim.profile.Sim.wg_profs;
+  let total = Array.fold_left ( +. ) 0.0 buckets in
+  let top = ref 0 in
+  Array.iteri (fun i c -> if c > buckets.(!top) then top := i) buckets;
+  ( Tawa_obs.Stall.name_of_index !top,
+    if total > 0.0 then buckets.(!top) /. total else 0.0 )
+
 let trace_events (inst : instance) (r : run) : Trace.event list =
   let model = overlap_model inst r in
   let lanes =
@@ -581,10 +597,14 @@ let trace_events (inst : instance) (r : run) : Trace.event list =
       Array.iter
         (fun ni ->
           let nr = r.r_nodes.(ni) in
+          let stall, share = top_stall nr.nr_rep in
           spans :=
             Trace.complete ~cat:"graph" ~tid:(ni + 1) ~ts:!t
               ~dur:(nr.nr_cycles *. inst.cfg.Config.wave_jitter)
-              ~args:[ ("ctas", Tawa_obs.Json.Int nr.nr_ctas) ]
+              ~args:
+                [ ("ctas", Tawa_obs.Json.Int nr.nr_ctas);
+                  ("top_stall", Tawa_obs.Json.Str stall);
+                  ("top_stall_share", Tawa_obs.Json.Float share) ]
               nr.nr_name
             :: !spans)
         w.wr_nodes;

@@ -47,8 +47,14 @@ type gstate = {
   mutable next_alloc : int;
   mutable arrive_counts : int list; (* reverse order, one per mbar *)
   mutable resettable : bool list; (* reverse order, one per mbar *)
+  mutable mbar_labels : string list; (* reverse order, one per mbar *)
   mutable next_mbar : int;
+  mutable ring_labels : string list; (* reverse order, one per ring *)
   mutable next_ring : int;
+  opmeta : (int, string * int) Hashtbl.t;
+      (* IR op id -> (opcode name, front-end source id): the profiler's
+         map from emitted instructions back through the pass pipeline.
+         Shared across streams (top-level ops lower once per stream). *)
 }
 
 let new_alloc g ~slots ~bytes ~label =
@@ -57,12 +63,13 @@ let new_alloc g ~slots ~bytes ~label =
   g.allocs <- { Isa.alloc_id = id; slots; bytes_per_slot = bytes; label } :: g.allocs;
   id
 
-let new_mbars g ~count ~arrive ~resettable =
+let new_mbars g ~count ~arrive ~resettable ~label =
   let base = g.next_mbar in
   g.next_mbar <- base + count;
-  for _ = 1 to count do
+  for i = 0 to count - 1 do
     g.arrive_counts <- arrive :: g.arrive_counts;
-    g.resettable <- resettable :: g.resettable
+    g.resettable <- resettable :: g.resettable;
+    g.mbar_labels <- label i :: g.mbar_labels
   done;
   base
 
@@ -84,7 +91,10 @@ type genv = {
   pend : pending_load Value.Tbl.t;
   graph : Graph.t;
   mutable code : Isa.instr array;
+  mutable src : int array; (* per emitted pc: IR op id, -1 = synthetic *)
   mutable len : int;
+  mutable cur_oid : int;   (* op being lowered; scaffolding emitted while
+                              generating a structured op charges to it *)
   mutable next_reg : int;
   coop : int;
   load_style : load_style;
@@ -97,7 +107,9 @@ let create_genv g graph ~coop ~load_style =
     pend = Value.Tbl.create 8;
     graph;
     code = Array.make 64 Isa.Nop;
+    src = Array.make 64 (-1);
     len = 0;
+    cur_oid = -1;
     next_reg = 0;
     coop;
     load_style;
@@ -107,9 +119,13 @@ let emit env (i : Isa.instr) =
   if env.len = Array.length env.code then begin
     let bigger = Array.make (2 * env.len) Isa.Nop in
     Array.blit env.code 0 bigger 0 env.len;
-    env.code <- bigger
+    env.code <- bigger;
+    let bigger_src = Array.make (2 * env.len) (-1) in
+    Array.blit env.src 0 bigger_src 0 env.len;
+    env.src <- bigger_src
   end;
   env.code.(env.len) <- i;
+  env.src.(env.len) <- env.cur_oid;
   env.len <- env.len + 1;
   env.len - 1
 
@@ -319,7 +335,10 @@ let lower_tma_load env (op : Op.op) =
        monotonic wait counter (registers start at 0). *)
     let bytes = rows * cols * Dtype.size_bytes dtype in
     let alloc = new_alloc env.g ~slots:1 ~bytes ~label:("scratch:" ^ Value.hint r) in
-    let bar = new_mbars env.g ~count:1 ~arrive:1 ~resettable:false in
+    let bar =
+      new_mbars env.g ~count:1 ~arrive:1 ~resettable:false
+        ~label:(fun _ -> "scratch:" ^ Value.hint r)
+    in
     let cnt = fresh_reg env in
     ignore (emit env (Isa.Alu { op = Op.Add; dst = cnt; a = Isa.Reg cnt; b = Isa.Imm 1 }));
     ignore
@@ -369,10 +388,26 @@ let lower_dot env (op : Op.op) ~async =
 (* Structured control flow                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Attribute everything emitted by [f] to [op]: instructions carry its
+   id in the stream srcmap, and its (name, front-end source) pair is
+   recorded once in the program's opmeta. Saving/restoring [cur_oid]
+   keeps a structured op's own scaffolding (loop latches, branch
+   patches) charged to the structured op, not to its last child. *)
+let with_op env (op : Op.op) f =
+  if not (Hashtbl.mem env.g.opmeta op.Op.oid) then
+    Hashtbl.replace env.g.opmeta op.Op.oid
+      ( Op.opcode_name op.Op.opcode,
+        Option.value (Op.attr_int op "tawa.src") ~default:(-1) );
+  let saved = env.cur_oid in
+  env.cur_oid <- op.Op.oid;
+  Fun.protect ~finally:(fun () -> env.cur_oid <- saved) f
+
 let rec gen_ops env (ops : Op.op list) =
   List.iter (gen_op env) ops
 
-and gen_op env (op : Op.op) =
+and gen_op env (op : Op.op) = with_op env op (fun () -> gen_op_body env op)
+
+and gen_op_body env (op : Op.op) =
   match op.Op.opcode with
   | Op.Const_int i ->
     let v = List.hd op.Op.results in
@@ -773,7 +808,7 @@ and gen_coarse_loop env (op : Op.op) =
         if Hashtbl.mem t_slice o.Op.oid then begin
           List.iter save o.Op.results;
           (match o.Op.opcode with
-          | Op.Dot -> lower_dot env o ~async:true
+          | Op.Dot -> with_op env o (fun () -> lower_dot env o ~async:true)
           | _ -> gen_op env o);
           if o.Op.oid = t_op.Op.oid then
             s_reg :=
@@ -854,7 +889,7 @@ and gen_coarse_loop env (op : Op.op) =
   List.iteri
     (fun i r -> bind env r (Bsmem (List.nth v_views i, Value.ty r)))
     v_get.Op.results;
-  lower_dot env u_op ~async:true;
+  with_op env u_op (fun () -> lower_dot env u_op ~async:true);
   (* 6. Rotate scores and loop-carried values. *)
   ignore (emit env (Isa.Mov { dst = s_cur; src = Isa.Reg s_next }));
   List.iter2
@@ -906,8 +941,8 @@ let lower ?(options = default_options) (k : Kernel.t) : Isa.program =
     | _ -> options.coop
   in
   let g =
-    { allocs = []; next_alloc = 0; arrive_counts = []; resettable = []; next_mbar = 0;
-      next_ring = 0 }
+    { allocs = []; next_alloc = 0; arrive_counts = []; resettable = []; mbar_labels = [];
+      next_mbar = 0; ring_labels = []; next_ring = 0; opmeta = Hashtbl.create 64 }
   in
   (* Pre-lower aref creates to allocations + barriers. *)
   let aref_bindings = ref [] in
@@ -939,6 +974,7 @@ let lower ?(options = default_options) (k : Kernel.t) : Isa.program =
           if cp_style then begin
             let ring = g.next_ring in
             g.next_ring <- ring + 1;
+            g.ring_labels <- Value.hint v :: g.ring_labels;
             { depth; payload_allocs; payload_tiles; empty_base = -1; full_base = ring;
               cp_style = true }
           end
@@ -948,8 +984,15 @@ let lower ?(options = default_options) (k : Kernel.t) : Isa.program =
                the empty barrier sees one arrival per release. Full
                completions: one arrival per payload TMA (the
                transaction-count aggregation of §III-E). *)
-            let empty_base = new_mbars g ~count:depth ~arrive:1 ~resettable:true in
-            let full_base = new_mbars g ~count:depth ~arrive:(List.length payload) ~resettable:true in
+            let hint = Value.hint v in
+            let empty_base =
+              new_mbars g ~count:depth ~arrive:1 ~resettable:true
+                ~label:(fun i -> Printf.sprintf "%s.empty[%d]" hint i)
+            in
+            let full_base =
+              new_mbars g ~count:depth ~arrive:(List.length payload) ~resettable:true
+                ~label:(fun i -> Printf.sprintf "%s.full[%d]" hint i)
+            in
             { depth; payload_allocs; payload_tiles; empty_base; full_base;
               cp_style = false }
           end
@@ -1024,17 +1067,23 @@ let lower ?(options = default_options) (k : Kernel.t) : Isa.program =
           body ();
           ignore (emit env Isa.Exit)
         end;
-        {
-          Isa.role;
-          instrs = Array.sub env.code 0 env.len;
-          coop = (if role = Op.Consumer then coop else 1);
-        })
+        ( {
+            Isa.role;
+            instrs = Array.sub env.code 0 env.len;
+            coop = (if role = Op.Consumer then coop else 1);
+          },
+          Array.sub env.src 0 env.len ))
       region_specs
+  in
+  let opmeta =
+    Hashtbl.fold (fun oid (name, src) acc -> (oid, name, src) :: acc) g.opmeta []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+    |> Array.of_list
   in
   {
     Isa.name = k.Kernel.name;
     param_tys = List.map Value.ty k.Kernel.params;
-    streams;
+    streams = List.map fst streams;
     allocs = List.rev g.allocs;
     num_mbarriers = g.next_mbar;
     mbar_arrive_counts = Array.of_list (List.rev g.arrive_counts);
@@ -1042,4 +1091,11 @@ let lower ?(options = default_options) (k : Kernel.t) : Isa.program =
     num_rings = g.next_ring;
     persistent;
     grid_axes = 3;
+    prov =
+      {
+        Isa.srcmaps = Array.of_list (List.map snd streams);
+        opmeta;
+        mbar_labels = Array.of_list (List.rev g.mbar_labels);
+        ring_labels = Array.of_list (List.rev g.ring_labels);
+      };
   }

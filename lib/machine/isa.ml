@@ -138,6 +138,26 @@ type stream = {
          registers, and all arrive on consumed barriers *)
 }
 
+(** Compile-time provenance carried alongside the instruction streams
+    for the deep profiler (DESIGN.md §15). Purely descriptive: nothing
+    in the simulator's timing reads it. [no_prov] (all empty) is legal
+    everywhere — hand-built programs simply profile at the instruction
+    level with numeric channel names. *)
+type prov = {
+  srcmaps : int array array;
+      (* per stream, per pc: the id of the IR op whose lowering emitted
+         this instruction, or -1 for synthetic scaffolding (loop
+         latches, the persistent work-queue wrapper) *)
+  opmeta : (int * string * int) array;
+      (* (op id, opcode name, front-end source op id or -1): the source
+         id is the pre-pipeline op this op descends from, stamped by the
+         pass manager before any transformation clones the kernel *)
+  mbar_labels : string array; (* per mbarrier: "a.empty[0]", "scratch:q", ... *)
+  ring_labels : string array; (* per cp.async prefetch ring *)
+}
+
+let no_prov = { srcmaps = [||]; opmeta = [||]; mbar_labels = [||]; ring_labels = [||] }
+
 type program = {
   name : string;
   param_tys : Types.ty list;
@@ -153,7 +173,36 @@ type program = {
   num_rings : int; (* cp.async prefetch rings *)
   persistent : bool;
   grid_axes : int;
+  prov : prov;
 }
+
+(** The srcmap of stream [i], or [[||]] when provenance was not
+    recorded (hand-built programs). *)
+let srcmap (p : program) i =
+  if i < Array.length p.prov.srcmaps then p.prov.srcmaps.(i) else [||]
+
+(** Human name of mbarrier [i]: its recorded label, else "mbar<i>". *)
+let mbar_label (p : program) i =
+  if i < Array.length p.prov.mbar_labels && p.prov.mbar_labels.(i) <> "" then
+    p.prov.mbar_labels.(i)
+  else Printf.sprintf "mbar%d" i
+
+(** Human name of prefetch ring [i]: its recorded label, else "ring<i>". *)
+let ring_label (p : program) i =
+  if i < Array.length p.prov.ring_labels && p.prov.ring_labels.(i) <> "" then
+    p.prov.ring_labels.(i)
+  else Printf.sprintf "ring%d" i
+
+(** (opcode name, front-end source id) of IR op [oid], if recorded. *)
+let op_meta (p : program) oid =
+  let n = Array.length p.prov.opmeta in
+  let rec go i =
+    if i >= n then None
+    else
+      let id, name, src = p.prov.opmeta.(i) in
+      if id = oid then Some (name, src) else go (i + 1)
+  in
+  go 0
 
 let smem_bytes (p : program) =
   List.fold_left (fun acc a -> acc + (a.slots * a.bytes_per_slot)) 0 p.allocs

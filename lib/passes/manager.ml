@@ -87,6 +87,17 @@ let compile ?(options = default_options) (kernel : Kernel.t) : result =
            (Tawa_analysis.Arefcheck.check_kernel k))
   in
   let k = Kernel.clone kernel in
+  (* Stamp every op with its pre-pipeline identity before any pass
+     clones it: region clones copy attrs, so however many times the
+     pipeline rewrites the kernel, the profiler can map a transformed
+     op back to the front-end op it descends from (DESIGN.md §15).
+     Skip ops already stamped (re-compiles of an already-lowered
+     kernel keep their original provenance). *)
+  Op.iter_region
+    (fun op ->
+      if Op.attr_int op "tawa.src" = None then
+        Op.set_attr op "tawa.src" (Op.Attr_int op.Op.oid))
+    k.Kernel.body;
   ignore (Rewrite.canonicalize k);
   let k = record "canonicalize" k true in
   let ws, k =

@@ -233,7 +233,7 @@ let mk_program ?(n = 2) ?counts streams =
   { Isa.name = "hand"; param_tys = []; streams; allocs = [];
     num_mbarriers = n; mbar_arrive_counts = counts;
     mbar_resettable = Array.make n true; num_rings = 0; persistent = false;
-    grid_axes = 1 }
+    grid_axes = 1; prov = Isa.no_prov }
 
 let stream role instrs = { Isa.role; instrs = Array.of_list instrs; coop = 1 }
 let bar b = { Isa.base = b; index = Isa.Imm 0 }

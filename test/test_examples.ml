@@ -37,6 +37,24 @@ let test_gemm_tw () =
   Alcotest.(check bool) "matches reference" true
     (Tensor.max_rel_diff out (Reference.gemm ~out_dtype:Dtype.F16 a b) < 1e-3)
 
+(* FP8 inputs quantize at tensor creation, so the simulator and the
+   reference see identical values and the diff is exact. *)
+let test_gemm_fp8_tw () =
+  let c = compile (load "gemm_fp8.tw") in
+  Alcotest.(check bool) "warp specialized" true c.Tawa_core.Flow.warp_specialized;
+  let m = 32 and n = 32 and kk = 24 in
+  let a = Tensor.random ~dtype:Dtype.F8E4M3 ~seed:1 [| m; kk |] in
+  let b = Tensor.random ~dtype:Dtype.F8E4M3 ~seed:2 [| kk; n |] in
+  let out = Tensor.create ~dtype:Dtype.F16 [| m; n |] in
+  ignore
+    (Launch.run_grid_functional ~cfg:Config.functional_test c.Tawa_core.Flow.program
+       ~params:
+         [ Sim.Rtensor a; Sim.Rtensor b; Sim.Rtensor out; Sim.Rint m; Sim.Rint n;
+           Sim.Rint kk ]
+       ~grid:(m / 16, n / 16, 1));
+  Alcotest.(check bool) "matches reference" true
+    (Tensor.max_rel_diff out (Reference.gemm ~out_dtype:Dtype.F16 a b) < 1e-3)
+
 let test_attention_tw () =
   let c = compile ~coarse:true (load "attention.tw") in
   Alcotest.(check bool) "coarse" true c.Tawa_core.Flow.coarse;
@@ -78,7 +96,7 @@ let test_gemm_bias_relu_tw () =
 let test_all_tw_files_found () =
   let files = Sys.readdir kernels_dir in
   let tw = Array.to_list files |> List.filter (fun f -> Filename.check_suffix f ".tw") in
-  Alcotest.(check bool) "at least three shipped kernels" true (List.length tw >= 3);
+  Alcotest.(check bool) "at least four shipped kernels" true (List.length tw >= 4);
   (* Every shipped .tw file must at minimum parse and verify. *)
   List.iter
     (fun f ->
@@ -91,6 +109,7 @@ let suites =
     ( "examples.kernels",
       [
         Alcotest.test_case "gemm.tw end-to-end" `Quick test_gemm_tw;
+        Alcotest.test_case "gemm_fp8.tw end-to-end" `Quick test_gemm_fp8_tw;
         Alcotest.test_case "attention.tw end-to-end" `Quick test_attention_tw;
         Alcotest.test_case "gemm_bias_relu.tw end-to-end" `Quick test_gemm_bias_relu_tw;
         Alcotest.test_case "all .tw files verify" `Quick test_all_tw_files_found;

@@ -20,6 +20,7 @@ let mk_program ?(allocs = []) ?(num_mbarriers = 0) ?(arrive = [||]) ?(num_rings 
     num_rings;
     persistent;
     grid_axes = 3;
+    prov = Isa.no_prov;
   }
 
 let stream ?(role = Op.Consumer) ?(coop = 1) instrs =
@@ -30,6 +31,7 @@ let cfg = Config.h100
 let run_program ?(params = []) ?(pop = Launch.no_queue) program =
   let cta =
     Sim.create ~cfg ~program ~params ~num_programs:[| 4; 4; 1 |] ~pop_global:pop
+      ()
   in
   (Sim.run cta, cta)
 
@@ -259,7 +261,7 @@ let test_trace_collection () =
   in
   let cta =
     Sim.create ~cfg:tcfg ~program:p ~params:[] ~num_programs:[| 1; 1; 1 |]
-      ~pop_global:Launch.no_queue
+      ~pop_global:Launch.no_queue ()
   in
   ignore (Sim.run cta);
   Alcotest.(check bool) "tc event recorded" true

@@ -416,11 +416,12 @@ let test_sim_deadlock_detection () =
       num_rings = 0;
       persistent = false;
       grid_axes = 3;
+      prov = Isa.no_prov;
     }
   in
   let cta =
     Sim.create ~cfg:Config.h100 ~program ~params:[] ~num_programs:[| 1; 1; 1 |]
-      ~pop_global:Launch.no_queue
+      ~pop_global:Launch.no_queue ()
   in
   Alcotest.(check bool) "deadlock detected" true
     (try

@@ -289,6 +289,7 @@ let pid_branch_program =
     num_rings = 0;
     persistent = false;
     grid_axes = 3;
+    prov = Isa.no_prov;
   }
 
 let test_replication_refusals () =

@@ -423,7 +423,7 @@ let test_trace_from_sim () =
     Sim.create ~cfg ~program:compiled.Flow.program
       ~params:[ Sim.Rnone; Sim.Rnone; Sim.Rnone; Sim.Rint 32; Sim.Rint 32; Sim.Rint 16 ]
       ~num_programs:[| 2; 2; 1 |]
-      ~pop_global:(fun () -> -1)
+      ~pop_global:(fun () -> -1) ()
   in
   ignore (Sim.run cta);
   let events = Trace.of_intervals (List.rev cta.Sim.events) in
